@@ -1,0 +1,55 @@
+// Figure 1: advertised client capabilities, 2015 vs 2017.
+//
+// Paper: since 2015, 802.11ac clients grew 18 % -> 46 %; 2.4 GHz-only
+// devices stayed ~40 %; 2-stream MIMO grew 19 % -> 37 %; 40/80 MHz-capable
+// shares grew accordingly (80 % of clients support 40 MHz by 2017).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "workload/device_population.hpp"
+
+using namespace w11;
+using workload::Era;
+
+int main() {
+  print_banner("Figure 1", "Advertised client capabilities (1.7M-device population model)");
+
+  constexpr int kDevices = 200'000;
+  workload::CapabilityShares s15, s17;
+  {
+    Rng rng(2015);
+    std::vector<ClientCapability> pop;
+    pop.reserve(kDevices);
+    for (int i = 0; i < kDevices; ++i)
+      pop.push_back(workload::sample_client(Era::k2015, rng));
+    s15 = workload::summarize(pop);
+  }
+  {
+    Rng rng(2017);
+    std::vector<ClientCapability> pop;
+    pop.reserve(kDevices);
+    for (int i = 0; i < kDevices; ++i)
+      pop.push_back(workload::sample_client(Era::k2017, rng));
+    s17 = workload::summarize(pop);
+  }
+
+  TablePrinter t({"capability", "2015 share", "2017 share", "paper 2015", "paper 2017"});
+  t.add_row("802.11ac", s15.ac, s17.ac, 0.18, 0.46);
+  t.add_row("2.4GHz only", s15.band24_only, s17.band24_only, "~0.40", "~0.40");
+  t.add_row(">=2 spatial streams", s15.two_stream, s17.two_stream, 0.19, 0.37);
+  t.add_row(">=40MHz capable", s15.width40, s17.width40, "-", "~0.80");
+  t.add_row(">=80MHz capable", s15.width80, s17.width80, "-", "-");
+  t.print();
+
+  bench::paper_note("11ac 18%->46%, 2.4-only steady ~40%, 2SS 19%->37%");
+  bench::shape_check("802.11ac share grows strongly (>=2x)", s17.ac > 2.0 * s15.ac);
+  bench::shape_check("2.4GHz-only share steady (|delta| < 5pp)",
+                     std::abs(s17.band24_only - s15.band24_only) < 0.05);
+  bench::shape_check("2-stream share roughly doubles",
+                     s17.two_stream > 1.6 * s15.two_stream);
+  bench::shape_check("~80% of 2017 clients support 40MHz",
+                     s17.width40 > 0.70 && s17.width40 < 0.90);
+  return bench::finish();
+}

@@ -1,0 +1,80 @@
+// Figure 3 (+ §3.2.3): CDF of same-channel interfering APs per AP, and the
+// per-AP peak client-density buckets.
+//
+// Paper: at 2.4 GHz the median AP sees 7 same-channel interferers and 90 %
+// see fewer than 29; at 5 GHz the median is 5 and 90 % see fewer than 14.
+// Client density: 33 % of APs peak at <=5 clients, 22 % at 6-10, 20 % at
+// 11-20, 25 % at >=21 (max observed 338).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fleet.hpp"
+#include "workload/device_population.hpp"
+
+using namespace w11;
+
+namespace {
+
+Samples interferers(Band band) {
+  bench::FleetConfig fc;
+  fc.band = band;
+  fc.networks = 25;
+  fc.seed = band == Band::G2_4 ? 14 : 15;
+  Samples out;
+  for (const auto& net : bench::make_fleet(fc)) {
+    const Samples s = net->sample_cochannel_interferers();
+    for (double v : s.sorted()) out.add(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Figure 3", "CDF of same-channel interfering APs; client density buckets");
+
+  const Samples i24 = interferers(Band::G2_4);
+  const Samples i5 = interferers(Band::G5);
+  bench::print_cdf("2.4GHz interferers", i24);
+  bench::print_cdf("5GHz interferers", i5);
+
+  TablePrinter t({"band", "median", "p90", "paper median", "paper p90"});
+  t.add_row("2.4GHz", i24.median(), i24.quantile(0.9), 7, "<29");
+  t.add_row("5GHz", i5.median(), i5.quantile(0.9), 5, "<14");
+  t.print();
+
+  bench::paper_note("2.4GHz median 7 (p90 <29); 5GHz median 5 (p90 <14)");
+  bench::shape_check("2.4GHz is more crowded than 5GHz at the median",
+                     i24.median() >= i5.median());
+  bench::shape_check("2.4GHz p90 below ~29", i24.quantile(0.9) < 29.0);
+  bench::shape_check("5GHz p90 below ~14", i5.quantile(0.9) < 14.0);
+  bench::shape_check("median interferer counts in the single digits",
+                     i24.median() < 10.0 && i5.median() < 10.0);
+
+  // §3.2.3 client-density buckets over 41k APs.
+  std::cout << "\n  Client density (share of APs by peak associated clients):\n";
+  Rng rng(16);
+  constexpr int kAps = 41'000;
+  int b[4] = {0, 0, 0, 0};
+  int max_seen = 0;
+  for (int i = 0; i < kAps; ++i) {
+    const int d = workload::sample_client_density(rng);
+    max_seen = std::max(max_seen, d);
+    if (d <= 5) ++b[0];
+    else if (d <= 10) ++b[1];
+    else if (d <= 20) ++b[2];
+    else ++b[3];
+  }
+  TablePrinter d({"bucket", "share %", "paper %"});
+  d.add_row("<=5", 100.0 * b[0] / kAps, 33);
+  d.add_row("6-10", 100.0 * b[1] / kAps, 22);
+  d.add_row("11-20", 100.0 * b[2] / kAps, 20);
+  d.add_row(">=21", 100.0 * b[3] / kAps, 25);
+  d.print();
+  std::cout << "  max observed density: " << max_seen << " (paper: 338)\n";
+  bench::shape_check("client-density buckets within 3pp of paper",
+                     std::abs(100.0 * b[0] / kAps - 33) < 3 &&
+                         std::abs(100.0 * b[3] / kAps - 25) < 3);
+  return bench::finish();
+}

@@ -1,0 +1,77 @@
+// Figure 5: bit-rate distribution across the 5 GHz client fleet.
+//
+// Paper: over one day of fleet-wide 5 GHz traffic, most selected rates fall
+// between 256 and 512 Mbps (typical 2-stream 802.11ac at 40/80 MHz with
+// real-world SNR).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "phy/mcs.hpp"
+#include "phy/propagation.hpp"
+#include "workload/device_population.hpp"
+
+using namespace w11;
+
+int main() {
+  print_banner("Figure 5", "Selected PHY rate distribution, 5 GHz clients");
+
+  Rng rng(41);
+  const PropagationModel prop;
+  constexpr int kSamples = 100'000;
+
+  // Rate buckets (Mbps) matching the paper's axis.
+  const double edges[] = {0, 64, 128, 256, 512, 1024, 1734};
+  constexpr int kBuckets = 6;
+  int counts[kBuckets] = {0};
+  Samples rates;
+
+  int produced = 0;
+  while (produced < kSamples) {
+    const ClientCapability cap =
+        workload::sample_client(workload::Era::k2017, rng);
+    if (!cap.supports_5ghz) continue;  // 5 GHz band only
+    // AP channel width as administrators configure it (Table 1).
+    const ChannelWidth ap_width =
+        workload::sample_configured_width(/*large_network=*/false, rng);
+    const ChannelWidth width = std::min(ap_width, cap.max_width);
+    // Indoor association distances: mostly close, with a tail.
+    const double dist = 2.0 + rng.lognormal(2.0, 0.55);
+    const Db snr =
+        prop.snr(kApTxPowerDbm, {0, 0}, {dist, 0}, Band::G5, width);
+    const int nss = std::min(3, cap.max_nss);
+    const auto pick = mcs::select(snr - 2.0, width, nss);
+    if (!pick) continue;  // out of range; no rate recorded
+    McsIndex idx = *pick;
+    idx.mcs = std::min(idx.mcs, cap.to_mcs_capability().max_mcs);
+    if (!mcs::valid(idx, width)) idx.mcs -= 1;
+    const double rate = mcs::rate(idx, width, cap.short_gi)->mbps();
+    rates.add(rate);
+    for (int b = 0; b < kBuckets; ++b) {
+      if (rate > edges[b] && rate <= edges[b + 1]) {
+        ++counts[b];
+        break;
+      }
+    }
+    ++produced;
+  }
+
+  TablePrinter t({"rate bucket (Mbps)", "share %"});
+  int mode_bucket = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    t.add_row(std::to_string(static_cast<int>(edges[b])) + "-" +
+                  std::to_string(static_cast<int>(edges[b + 1])),
+              100.0 * counts[b] / kSamples);
+    if (counts[b] > counts[mode_bucket]) mode_bucket = b;
+  }
+  t.print();
+  bench::print_cdf("rate (Mbps)", rates);
+
+  bench::paper_note("most rates between 256-512 Mbps");
+  bench::shape_check("modal bucket is 256-512 Mbps", mode_bucket == 3);
+  bench::shape_check("median rate within 128-512 Mbps",
+                     rates.median() > 128.0 && rates.median() <= 512.0);
+  return bench::finish();
+}

@@ -1,0 +1,90 @@
+// Figure 14: TCP congestion window, baseline vs FastACK, 10 flows.
+//
+// Paper: with baseline TCP not all flows grow cwnd to the OS maximum of
+// 770 segments; with FastACK every flow's window opens up quickly.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "scenario/testbed.hpp"
+
+using namespace w11;
+
+namespace {
+
+struct CwndSummary {
+  std::vector<double> final_cwnd;      // per flow, sorted
+  std::vector<double> mean_cwnd;       // per flow (time-averaged from trace)
+  double time_to_open_s = -1.0;        // first flow reaching 700 segs
+};
+
+CwndSummary run(bool fastack) {
+  scenario::TestbedConfig cfg;
+  cfg.n_clients_per_ap = 10;
+  cfg.duration = time::seconds(8);
+  cfg.warmup = time::seconds(0);
+  cfg.fastack = {fastack};
+  cfg.seed = 5;
+  scenario::Testbed tb(cfg);
+  for (int c = 0; c < 10; ++c) tb.sender(0, c).enable_cwnd_trace();
+  tb.run();
+
+  CwndSummary out;
+  for (int c = 0; c < 10; ++c) {
+    const auto& tr = tb.sender(0, c).cwnd_trace();
+    out.final_cwnd.push_back(tb.sender(0, c).cwnd_segments());
+    double area = 0.0;
+    for (std::size_t i = 1; i < tr.size(); ++i)
+      area += tr[i - 1].second * (tr[i].first - tr[i - 1].first).sec();
+    const double span = tr.empty() ? 1.0 : (tr.back().first - tr.front().first).sec();
+    out.mean_cwnd.push_back(span > 0 ? area / span : 0.0);
+    for (const auto& [at, cw] : tr) {
+      if (cw >= 700.0) {
+        const double t = at.sec();
+        if (out.time_to_open_s < 0 || t < out.time_to_open_s)
+          out.time_to_open_s = t;
+        break;
+      }
+    }
+  }
+  std::sort(out.final_cwnd.begin(), out.final_cwnd.end());
+  std::sort(out.mean_cwnd.begin(), out.mean_cwnd.end());
+  return out;
+}
+
+int count_at_cap(const std::vector<double>& v) {
+  return static_cast<int>(std::count_if(v.begin(), v.end(),
+                                        [](double c) { return c >= 700.0; }));
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Figure 14", "TCP cwnd, 10 flows: baseline vs FastACK (max 770 segments)");
+
+  const CwndSummary base = run(false);
+  const CwndSummary fast = run(true);
+
+  TablePrinter t({"flow (sorted)", "baseline mean cwnd", "baseline final",
+                  "FastACK mean cwnd", "FastACK final"});
+  for (int i = 0; i < 10; ++i) {
+    t.add_row(i + 1, base.mean_cwnd[i], base.final_cwnd[i], fast.mean_cwnd[i],
+              fast.final_cwnd[i]);
+  }
+  t.print();
+  std::cout << "  flows at >=700 segs (of 10): baseline=" << count_at_cap(base.final_cwnd)
+            << " FastACK=" << count_at_cap(fast.final_cwnd) << "\n";
+  if (fast.time_to_open_s >= 0)
+    std::cout << "  first FastACK flow reached 700 segs at t=" << fast.time_to_open_s
+              << " s\n";
+
+  bench::paper_note("baseline: many flows never reach the 770-segment cap; FastACK: all open quickly");
+  bench::shape_check("baseline leaves most flows far below the cap",
+                     count_at_cap(base.final_cwnd) <= 3);
+  bench::shape_check("FastACK opens (nearly) every flow to the cap",
+                     count_at_cap(fast.final_cwnd) >= 8);
+  bench::shape_check("FastACK median mean-cwnd >> baseline median mean-cwnd",
+                     fast.mean_cwnd[5] > 3.0 * base.mean_cwnd[5]);
+  return bench::finish();
+}

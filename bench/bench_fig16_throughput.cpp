@@ -1,0 +1,61 @@
+// Figure 16: aggregate client throughput vs number of clients.
+//
+// Paper: FastACK outperforms baseline TCP in every scenario, with benefits
+// up to 38 %, and gains generally grow as contention (client count) rises.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "scenario/testbed.hpp"
+
+using namespace w11;
+
+namespace {
+
+double throughput(int clients, bool fastack, std::uint64_t seed) {
+  scenario::TestbedConfig cfg;
+  cfg.n_clients_per_ap = clients;
+  cfg.duration = time::seconds(6);
+  cfg.fastack = {fastack};
+  cfg.seed = seed;
+  scenario::Testbed tb(cfg);
+  tb.run();
+  return tb.aggregate_throughput_mbps();
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Figure 16", "Aggregate downlink TCP throughput vs client count");
+
+  TablePrinter t({"clients", "baseline (Mbps)", "FastACK (Mbps)", "gain %"});
+  std::vector<double> gains;
+  for (int clients : {5, 10, 15, 20, 25, 30}) {
+    // Average two seeds to damp placement luck.
+    double b = 0, f = 0;
+    for (std::uint64_t seed : {3ull, 11ull}) {
+      b += throughput(clients, false, seed);
+      f += throughput(clients, true, seed);
+    }
+    b /= 2;
+    f /= 2;
+    const double gain = 100.0 * (f - b) / b;
+    t.add_row(clients, b, f, gain);
+    if (clients >= 5) gains.push_back(gain);
+  }
+  t.print();
+
+  bench::paper_note("FastACK wins every scenario; gains up to ~38%, larger under contention");
+  bool all_win = true;
+  for (double g : gains) all_win &= g > 0.0;
+  double max_gain = 0.0;
+  for (double g : gains) max_gain = std::max(max_gain, g);
+  bench::shape_check("FastACK outperforms baseline at every client count (>=5)", all_win);
+  bench::shape_check("peak gain is tens of percent (paper: up to 38%)",
+                     max_gain >= 20.0);
+  bench::shape_check("gain under contention (>=10 clients) exceeds gain at 5 clients",
+                     gains.size() >= 2 && *std::max_element(gains.begin() + 1,
+                                                            gains.end()) >
+                                              gains.front());
+  return bench::finish();
+}

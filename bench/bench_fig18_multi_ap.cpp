@@ -1,0 +1,73 @@
+// Figure 18: multi-AP deployment — two co-channel APs, 10 clients each.
+//
+// Paper: (i) both baseline: 251 Mbps combined (127 + 132... per-AP roughly
+// equal); (ii) AP1 baseline + AP2 FastACK: FastACK AP jumps 132 -> 240 while
+// the baseline AP slips 127 -> 85, combined 325 (> case i); (iii) both
+// FastACK: 395 Mbps combined, +51 % over case (i). FastACK never loses from
+// being enabled unilaterally.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "scenario/testbed.hpp"
+
+using namespace w11;
+
+namespace {
+
+struct Case {
+  double ap1 = 0, ap2 = 0;
+  [[nodiscard]] double total() const { return ap1 + ap2; }
+};
+
+Case run(const std::vector<bool>& fastack) {
+  Case total;
+  constexpr int kSeeds = 3;
+  for (std::uint64_t seed : {29ull, 41ull, 77ull}) {
+    scenario::TestbedConfig cfg;
+    cfg.n_aps = 2;
+    cfg.n_clients_per_ap = 10;
+    cfg.duration = time::seconds(6);
+    cfg.fastack = fastack;
+    cfg.seed = seed;
+    // The paper's two testbed cells are comparable; mirror the layouts so
+    // the comparison isolates the TCP mechanism, not placement luck.
+    cfg.symmetric_cells = true;
+    scenario::Testbed tb(cfg);
+    tb.run();
+    total.ap1 += tb.ap_throughput_mbps(0) / kSeeds;
+    total.ap2 += tb.ap_throughput_mbps(1) / kSeeds;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Figure 18", "Two co-channel APs x 10 clients: baseline/FastACK mixes");
+
+  const Case bb = run({false, false});
+  const Case bf = run({false, true});
+  const Case ff = run({true, true});
+
+  TablePrinter t({"case", "AP1 (Mbps)", "AP2 (Mbps)", "combined", "vs (i) %"});
+  t.add_row("(i)   base + base", bb.ap1, bb.ap2, bb.total(), 0.0);
+  t.add_row("(ii)  base + FastACK", bf.ap1, bf.ap2, bf.total(),
+            100.0 * (bf.total() - bb.total()) / bb.total());
+  t.add_row("(iii) FastACK + FastACK", ff.ap1, ff.ap2, ff.total(),
+            100.0 * (ff.total() - bb.total()) / bb.total());
+  t.print();
+
+  bench::paper_note("paper: (i) 251 -> (ii) 325 -> (iii) 395 Mbps (+51%); in (ii) the FastACK AP gains (132->240) while the baseline AP cedes airtime (127->85)");
+  bench::shape_check("both-FastACK beats both-baseline by tens of percent",
+                     ff.total() > 1.2 * bb.total());
+  bench::shape_check("mixed case total still beats both-baseline",
+                     bf.total() > bb.total());
+  bench::shape_check("in the mixed case the FastACK AP gains",
+                     bf.ap2 > bb.ap2 * 1.1);
+  bench::shape_check("in the mixed case the baseline AP loses share",
+                     bf.ap1 < bb.ap1);
+  bench::shape_check("FastACK does not suffer when enabled in isolation",
+                     bf.ap2 >= bb.ap2);
+  return bench::finish();
+}

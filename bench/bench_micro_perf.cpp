@@ -1,0 +1,158 @@
+// Micro-benchmarks (google-benchmark): costs of the hot paths — event
+// queue, MCS selection, NodeP evaluation, NBO scaling, FastACK datapath,
+// LittleTable ingest/query — to back DESIGN.md's complexity claims.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fastack/agent.hpp"
+#include "core/turboca/turboca.hpp"
+#include "flowsim/network.hpp"
+#include "phy/mcs.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/littletable.hpp"
+#include "workload/topology.hpp"
+
+namespace w11 {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i)
+      sim.schedule_at(time::micros(i), [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.processed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_McsSelect(benchmark::State& state) {
+  double snr = 3.0;
+  for (auto _ : state) {
+    snr = snr > 40.0 ? 3.0 : snr + 0.37;
+    benchmark::DoNotOptimize(mcs::select(snr, ChannelWidth::MHz80, 3));
+  }
+}
+BENCHMARK(BM_McsSelect);
+
+void BM_PacketErrorRate(benchmark::State& state) {
+  double snr = 5.0;
+  for (auto _ : state) {
+    snr = snr > 35.0 ? 5.0 : snr + 0.13;
+    benchmark::DoNotOptimize(mcs::packet_error_rate({7, 2}, snr, 1500));
+  }
+}
+BENCHMARK(BM_PacketErrorRate);
+
+std::vector<ApScan> campus_scans(int n_aps) {
+  workload::CampusConfig cc;
+  cc.n_aps = n_aps;
+  cc.buildings = std::max(2, n_aps / 10);
+  cc.seed = 5;
+  auto net = workload::make_campus(cc);
+  return net->scan();
+}
+
+void BM_NodePEvaluation(benchmark::State& state) {
+  const auto scans = campus_scans(40);
+  turboca::TurboCA tca({}, Rng(1));
+  ChannelPlan plan;
+  for (const auto& s : scans) plan[s.id] = s.current;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ApScan& s = scans[i++ % scans.size()];
+    benchmark::DoNotOptimize(tca.node_p_log(s, s.current, scans, plan, {}));
+  }
+}
+BENCHMARK(BM_NodePEvaluation);
+
+void BM_NboSweep(benchmark::State& state) {
+  const auto scans = campus_scans(static_cast<int>(state.range(0)));
+  turboca::TurboCA tca({}, Rng(2));
+  ChannelPlan plan;
+  for (const auto& s : scans) plan[s.id] = s.current;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tca.nbo(scans, plan, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NboSweep)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Complexity();
+
+void BM_FlowsimEvaluate(benchmark::State& state) {
+  workload::CampusConfig cc;
+  cc.n_aps = static_cast<int>(state.range(0));
+  cc.seed = 7;
+  auto net = workload::make_campus(cc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->evaluate().total_throughput_mbps);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FlowsimEvaluate)->Arg(25)->Arg(50)->Arg(100)->Complexity();
+
+// FastACK datapath: case-(iii) data + 802.11 ack + suppressed client ack —
+// the steady-state per-segment cost.
+void BM_FastAckDatapath(benchmark::State& state) {
+  Simulator sim;
+  mac::Medium medium(sim, {}, Rng(1));
+  AccessPoint::Config acfg;
+  acfg.id = ApId{0};
+  AccessPoint ap(sim, medium, acfg, Rng(2));
+  ClientStation::Config ccfg;
+  ccfg.id = StationId{1};
+  ccfg.pos = Position{5, 0};
+  ClientStation client(sim, medium, ccfg, Rng(3));
+  ap.associate(&client);
+  fastack::FastAckAgent agent(sim, ap, {});
+  ap.set_interceptor(&agent);
+  ap.set_wire_out([](TcpSegment) {});
+
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    TcpSegment seg;
+    seg.flow = FlowId{1};
+    seg.dst_station = StationId{1};
+    seg.seq = seq;
+    seg.payload = 1460;
+    benchmark::DoNotOptimize(agent.on_downlink_data(seg));
+    agent.on_80211_delivered(seg);
+    TcpSegment ack;
+    ack.flow = FlowId{1};
+    ack.is_ack = true;
+    ack.ack = seq + 1460;
+    ack.rwnd = 1 << 20;
+    benchmark::DoNotOptimize(agent.on_uplink_ack(ack));
+    seq += 1460;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FastAckDatapath);
+
+void BM_LittleTableInsert(benchmark::State& state) {
+  telemetry::LittleTable t("bench", {"a", "b", "c"});
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    t.insert(static_cast<std::uint32_t>(i % 64), time::seconds(i), {1.0, 2.0, 3.0});
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LittleTableInsert);
+
+void BM_LittleTableAggregate(benchmark::State& state) {
+  telemetry::LittleTable t("bench", {"a"});
+  for (std::int64_t i = 0; i < 100'000; ++i)
+    t.insert(static_cast<std::uint32_t>(i % 64), time::seconds(i), {1.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.aggregate("a", telemetry::LittleTable::Agg::kMean,
+                                         Time{0}, time::seconds(100'000),
+                                         time::hours(1)));
+  }
+}
+BENCHMARK(BM_LittleTableAggregate);
+
+}  // namespace
+}  // namespace w11
+
+BENCHMARK_MAIN();

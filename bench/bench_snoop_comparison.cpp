@@ -1,0 +1,96 @@
+// Related-work comparison (§5.3): baseline TCP vs TCP-Snoop vs FastACK.
+//
+// The paper positions FastACK against Snoop: both cache packets at the AP
+// and retransmit locally, but Snoop only *hides wireless losses* from the
+// sender's congestion control, while FastACK additionally accelerates the
+// ACK clock to drive aggregation. Expected signature on a lossy cell:
+//
+//   * sender-visible loss events: baseline >> Snoop ≈ FastACK
+//   * A-MPDU aggregation:         FastACK >> Snoop ≈ baseline
+//   * throughput:                 FastACK > Snoop >= baseline
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "scenario/testbed.hpp"
+
+using namespace w11;
+
+namespace {
+
+struct Outcome {
+  double throughput = 0.0;
+  double mean_ampdu = 0.0;
+  std::uint64_t sender_loss_events = 0;  // fast retransmits + RTOs
+  std::uint64_t local_retx = 0;
+};
+
+Outcome run(scenario::TcpAccel accel) {
+  scenario::TestbedConfig cfg;
+  cfg.n_clients_per_ap = 12;
+  cfg.duration = time::seconds(6);
+  cfg.accel = {accel};
+  // A lossy cell: clients toward the edge with deep fading, plus the
+  // paper's 1.5 % bad-hint rate.
+  cfg.client_min_dist_m = 15.0;
+  cfg.client_max_dist_m = 40.0;
+  cfg.rate_control.fading_sigma = 3.0;
+  cfg.bad_hint_rate = 0.015;
+  cfg.seed = 37;
+  scenario::Testbed tb(cfg);
+  tb.run();
+
+  Outcome out;
+  out.throughput = tb.aggregate_throughput_mbps();
+  for (double a : tb.mean_ampdu_per_client(0)) out.mean_ampdu += a;
+  out.mean_ampdu /= cfg.n_clients_per_ap;
+  for (int c = 0; c < cfg.n_clients_per_ap; ++c) {
+    const auto& s = tb.sender(0, c).stats();
+    out.sender_loss_events += s.fast_retransmits + s.rto_events;
+  }
+  if (accel == scenario::TcpAccel::kSnoop)
+    out.local_retx = tb.snoop_agent(0)->stats().local_retransmits;
+  if (accel == scenario::TcpAccel::kFastAck)
+    out.local_retx = tb.agent(0)->stats().local_retransmits;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Related work (§5.3)", "baseline TCP vs TCP-Snoop vs FastACK on a lossy cell");
+
+  const Outcome base = run(scenario::TcpAccel::kNone);
+  const Outcome snoop = run(scenario::TcpAccel::kSnoop);
+  const Outcome fast = run(scenario::TcpAccel::kFastAck);
+
+  TablePrinter t({"scheme", "throughput (Mbps)", "mean A-MPDU",
+                  "sender loss events", "AP local retx"});
+  t.add_row("baseline TCP", base.throughput, base.mean_ampdu,
+            base.sender_loss_events, base.local_retx);
+  t.add_row("TCP-Snoop", snoop.throughput, snoop.mean_ampdu,
+            snoop.sender_loss_events, snoop.local_retx);
+  t.add_row("FastACK", fast.throughput, fast.mean_ampdu,
+            fast.sender_loss_events, fast.local_retx);
+  t.print();
+
+  bench::paper_note("Snoop hides wireless loss from cwnd; FastACK additionally accelerates the ACK clock to drive aggregation (its motivation, §5.3)");
+  bench::shape_check("Snoop shields the sender from loss events vs baseline",
+                     snoop.sender_loss_events < base.sender_loss_events);
+  // Note: on a loss-crushed cell Snoop *does* lift aggregation indirectly —
+  // keeping cwnd open keeps queues deeper — but it stops well short of
+  // FastACK, which is the paper's point: loss-hiding is necessary but the
+  // ACK clock is the binding constraint.
+  bench::shape_check("aggregation ordering baseline < Snoop < FastACK",
+                     base.mean_ampdu < snoop.mean_ampdu &&
+                         snoop.mean_ampdu < fast.mean_ampdu);
+  bench::shape_check("FastACK's aggregation far exceeds both",
+                     fast.mean_ampdu > 1.5 * snoop.mean_ampdu &&
+                         fast.mean_ampdu > 1.5 * base.mean_ampdu);
+  bench::shape_check("throughput: FastACK > Snoop and FastACK > baseline",
+                     fast.throughput > snoop.throughput &&
+                         fast.throughput > base.throughput);
+  bench::shape_check("Snoop does not hurt throughput",
+                     snoop.throughput > 0.85 * base.throughput);
+  return bench::finish();
+}

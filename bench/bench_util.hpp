@@ -1,0 +1,50 @@
+#pragma once
+// Shared reporting helpers for the reproduction benches.
+//
+// Every bench prints (a) the series/rows the paper reports, and (b) a
+// "shape check" block comparing the paper's qualitative claim with the
+// measured value, so EXPERIMENTS.md can be filled from bench output alone.
+
+#include <iostream>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+
+namespace w11::bench {
+
+inline int g_checks_failed = 0;
+
+// Record a qualitative shape check: prints PASS/FAIL and tracks failures
+// (the bench still exits 0 — absolute numbers are substrate-dependent, and
+// a FAIL is a flag for investigation, not a build breaker).
+inline void shape_check(const std::string& claim, bool ok) {
+  std::cout << (ok ? "  [shape PASS] " : "  [shape FAIL] ") << claim << "\n";
+  if (!ok) ++g_checks_failed;
+}
+
+inline void paper_note(const std::string& note) {
+  std::cout << "  [paper] " << note << "\n";
+}
+
+// Print a CDF as (value, percentile) rows.
+inline void print_cdf(const std::string& label, const Samples& s,
+                      std::initializer_list<double> qs = {0.1, 0.25, 0.5, 0.75,
+                                                          0.9, 0.99}) {
+  std::cout << "  CDF " << label << " (n=" << s.count() << "):";
+  for (double q : qs)
+    std::cout << "  p" << static_cast<int>(q * 100) << "=" << s.quantile(q);
+  std::cout << "\n";
+}
+
+inline int finish() {
+  if (g_checks_failed > 0) {
+    std::cout << "\n" << g_checks_failed
+              << " shape check(s) FAILED — see lines above.\n";
+  } else {
+    std::cout << "\nAll shape checks passed.\n";
+  }
+  return 0;  // never fail the bench run over calibration drift
+}
+
+}  // namespace w11::bench

@@ -1,0 +1,94 @@
+// FastACK deep dive: run the same contended cell with baseline TCP and
+// with FastACK, then dissect *why* it wins — cwnd traces rendered as ASCII
+// timelines, per-flow aggregation, and the agent's internal counters
+// (fast ACKs, suppressions, local retransmissions, holes).
+//
+//   $ ./fastack_deep_dive
+
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.hpp"
+#include "scenario/testbed.hpp"
+
+using namespace w11;
+
+namespace {
+
+// Render a cwnd trace as a 60-column ASCII sparkline (0..770 segments).
+std::string sparkline(const std::vector<std::pair<Time, double>>& trace,
+                      Time span) {
+  static const char* kLevels = " .:-=+*#%@";
+  std::string out(60, ' ');
+  if (trace.empty()) return out;
+  for (std::size_t col = 0; col < out.size(); ++col) {
+    const Time at = span * static_cast<std::int64_t>(col) / 60;
+    double value = trace.front().second;
+    for (const auto& [t, cw] : trace) {
+      if (t > at) break;
+      value = cw;
+    }
+    const int level =
+        std::clamp(static_cast<int>(value / 770.0 * 9.99), 0, 9);
+    out[col] = kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kClients = 10;
+  constexpr auto kDuration = time::seconds(6);
+
+  for (const bool fastack : {false, true}) {
+    scenario::TestbedConfig cfg;
+    cfg.n_clients_per_ap = kClients;
+    cfg.duration = kDuration;
+    cfg.warmup = time::seconds(0);
+    cfg.fastack = {fastack};
+    cfg.bad_hint_rate = 0.015;  // the paper's observed bad-hint rate
+    cfg.seed = 5;
+    scenario::Testbed tb(cfg);
+    for (int c = 0; c < kClients; ++c) tb.sender(0, c).enable_cwnd_trace();
+    tb.run();
+
+    std::cout << "\n================ "
+              << (fastack ? "FastACK enabled" : "baseline TCP")
+              << " ================\n";
+    std::cout << "aggregate throughput: " << tb.aggregate_throughput_mbps()
+              << " Mbps\n\ncwnd over time (each row = one flow; ' '=0 ... '@'=770 segs):\n";
+    for (int c = 0; c < kClients; ++c) {
+      std::cout << "  flow " << c << " |"
+                << sparkline(tb.sender(0, c).cwnd_trace(), kDuration) << "|\n";
+    }
+
+    TablePrinter t({"flow", "cwnd (segs)", "mean A-MPDU", "RTOs",
+                    "fast retx", "srtt (ms)"});
+    const auto ampdu = tb.mean_ampdu_per_client(0);
+    for (int c = 0; c < kClients; ++c) {
+      const TcpSender& s = tb.sender(0, c);
+      t.add_row(c, s.cwnd_segments(), ampdu[static_cast<std::size_t>(c)],
+                s.stats().rto_events, s.stats().fast_retransmits,
+                s.smoothed_rtt().ms());
+    }
+    t.print();
+
+    if (fastack) {
+      const auto& st = tb.agent(0)->stats();
+      std::cout << "\nFastACK agent counters:\n"
+                << "  fast ACKs sent:          " << st.fast_acks_sent << "\n"
+                << "  client ACKs suppressed:  " << st.client_acks_suppressed << "\n"
+                << "  local retransmissions:   " << st.local_retransmits
+                << "   (cache served; the sender never saw the loss)\n"
+                << "  upstream holes detected: " << st.holes_detected
+                << "   (dup-ACKs emulated: " << st.hole_dupacks_sent << ")\n"
+                << "  spurious retx dropped:   " << st.spurious_retx_dropped << "\n"
+                << "  window updates sent:     " << st.window_updates_sent << "\n";
+    }
+  }
+  std::cout << "\nNote how baseline windows wander near the floor while every\n"
+               "FastACK window pins at the 770-segment cap — that queue depth\n"
+               "is what buys the larger aggregates and the throughput gap.\n";
+  return 0;
+}

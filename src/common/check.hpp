@@ -1,0 +1,38 @@
+#pragma once
+// Precondition / invariant checking.
+//
+// W11_CHECK is always on (including release builds): simulation correctness
+// depends on these invariants and the cost is negligible relative to event
+// processing. Violations indicate programming errors, so they throw
+// std::logic_error rather than returning recoverable status.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace w11::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace w11::detail
+
+#define W11_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) ::w11::detail::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define W11_CHECK_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream w11_check_os;                                      \
+      w11_check_os << msg;                                                  \
+      ::w11::detail::check_failed(#expr, __FILE__, __LINE__,                \
+                                  w11_check_os.str());                      \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,52 @@
+#pragma once
+// Strong identifier types for network entities.
+//
+// Each id is a distinct type over the same integer representation so that an
+// AP id can never be passed where a station id is expected. Ids are dense
+// small integers assigned by the owning container.
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <ostream>
+
+namespace w11 {
+
+template <class Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << Tag::prefix() << id.value_;
+  }
+
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+ private:
+  std::uint32_t value_ = kInvalid;
+};
+
+struct ApTag { static constexpr const char* prefix() { return "ap"; } };
+struct StationTag { static constexpr const char* prefix() { return "sta"; } };
+struct FlowTag { static constexpr const char* prefix() { return "flow"; } };
+struct NetworkTag { static constexpr const char* prefix() { return "net"; } };
+
+using ApId = Id<ApTag>;
+using StationId = Id<StationTag>;
+using FlowId = Id<FlowTag>;
+using NetworkId = Id<NetworkTag>;
+
+}  // namespace w11
+
+template <class Tag>
+struct std::hash<w11::Id<Tag>> {
+  std::size_t operator()(w11::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

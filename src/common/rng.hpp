@@ -1,0 +1,80 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that tests
+// and benchmarks are reproducible. There is deliberately no global generator.
+
+#include <cstdint>
+#include <random>
+
+namespace w11 {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  // Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  [[nodiscard]] double lognormal(double mu, double sigma) {
+    std::lognormal_distribution<double> d(mu, sigma);
+    return d(engine_);
+  }
+
+  [[nodiscard]] double exponential(double rate) {
+    std::exponential_distribution<double> d(rate);
+    return d(engine_);
+  }
+
+  [[nodiscard]] std::size_t index(std::size_t size) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  // Weighted index selection: probability of i proportional to weights[i].
+  // Zero / negative weights are treated as zero; if all weights are zero the
+  // choice is uniform.
+  template <class Container>
+  [[nodiscard]] std::size_t weighted_index(const Container& weights) {
+    double total = 0.0;
+    for (double w : weights) total += (w > 0.0 ? w : 0.0);
+    if (total <= 0.0) return index(weights.size());
+    double pick = uniform(0.0, total);
+    std::size_t i = 0;
+    for (double w : weights) {
+      const double ww = (w > 0.0 ? w : 0.0);
+      if (pick < ww) return i;
+      pick -= ww;
+      ++i;
+    }
+    return weights.size() - 1;  // floating-point edge: return last
+  }
+
+  // Derive an independent child generator (for per-entity streams).
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace w11

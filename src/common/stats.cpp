@@ -1,0 +1,130 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace w11 {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::add(double x) {
+  data_.push_back(x);
+  sorted_ = false;
+}
+
+void Samples::add_all(const std::vector<double>& xs) {
+  data_.insert(data_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::quantile(double q) const {
+  W11_CHECK_MSG(!data_.empty(), "quantile of empty sample set");
+  W11_CHECK(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  if (data_.size() == 1) return data_[0];
+  const double pos = q * static_cast<double>(data_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, data_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data_[lo] * (1.0 - frac) + data_[hi] * frac;
+}
+
+double Samples::mean() const {
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : data_) sum += x;
+  return sum / static_cast<double>(data_.size());
+}
+
+double Samples::cdf_at(double x) const {
+  if (data_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(data_.begin(), data_.end(), x);
+  return static_cast<double>(it - data_.begin()) / static_cast<double>(data_.size());
+}
+
+std::vector<std::pair<double, double>> Samples::cdf(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (data_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+const std::vector<double>& Samples::sorted() const {
+  ensure_sorted();
+  return data_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  W11_CHECK(hi > lo);
+  W11_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double jain_fairness(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace w11

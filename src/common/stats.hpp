@@ -1,0 +1,81 @@
+#pragma once
+// Statistical accumulators used by telemetry and benchmarks.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace w11 {
+
+// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// A sample set with quantile queries and CDF export. Samples are stored and
+// sorted lazily on first query.
+class Samples {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  // Quantile q in [0,1], linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+  // Fraction of samples <= x (empirical CDF evaluated at x).
+  [[nodiscard]] double cdf_at(double x) const;
+  // (value, cumulative fraction) pairs at `points` evenly spaced quantiles.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(std::size_t points = 50) const;
+  [[nodiscard]] const std::vector<double>& sorted() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-bin histogram over [lo, hi); out-of-range values clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Jain's fairness index: (Σx)² / (n·Σx²). 1.0 = perfectly fair.
+[[nodiscard]] double jain_fairness(const std::vector<double>& xs);
+
+}  // namespace w11

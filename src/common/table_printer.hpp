@@ -1,0 +1,64 @@
+#pragma once
+// Console table/series printer shared by benches and examples, so every
+// reproduction binary reports in a consistent, paper-like format.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace w11 {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  template <class... Cells>
+  void add_row(const Cells&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(to_cell(cells)), ...);
+    for (std::size_t i = 0; i < row.size() && i < widths_.size(); ++i)
+      widths_[i] = std::max(widths_[i], row[i].size());
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    print_row(os, headers_);
+    std::size_t total = 0;
+    for (auto w : widths_) total += w + 3;
+    os << std::string(total, '-') << '\n';
+    for (const auto& r : rows_) print_row(os, r);
+  }
+
+ private:
+  template <class T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3) << v;
+    return os.str();
+  }
+  static std::string to_cell(const std::string& v) { return v; }
+  static std::string to_cell(const char* v) { return v; }
+  static std::string to_cell(int v) { return std::to_string(v); }
+  static std::string to_cell(std::size_t v) { return std::to_string(v); }
+
+  void print_row(std::ostream& os, const std::vector<std::string>& row) const {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      os << std::left << std::setw(static_cast<int>(widths_[i]) + 3) << row[i];
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Header banner for a reproduction binary.
+inline void print_banner(const std::string& id, const std::string& caption) {
+  std::cout << "\n=== " << id << ": " << caption << " ===\n";
+}
+
+}  // namespace w11

@@ -1,0 +1,61 @@
+#pragma once
+// Strong time type for the simulator.
+//
+// All simulation timestamps and durations are expressed in integer
+// nanoseconds wrapped in a single strong type, `Time`. Using one type for
+// both points and durations keeps arithmetic ergonomic (the simulator epoch
+// is t = 0), while the wrapper prevents accidental mixing with raw integers
+// or with wall-clock types.
+
+#include <cstdint>
+#include <compare>
+#include <ostream>
+
+namespace w11 {
+
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t nanos) : ns_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Time& operator+=(Time rhs) { ns_ += rhs.ns_; return *this; }
+  constexpr Time& operator-=(Time rhs) { ns_ -= rhs.ns_; return *this; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time{a.ns_ / k}; }
+  friend constexpr std::int64_t operator/(Time a, Time b) { return a.ns_ / b.ns_; }
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Time t) {
+    return os << t.ns_ << "ns";
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+// Duration factories. `t = 3 * time::Milli` style is avoided in favour of
+// explicit constructor helpers so every call site names its unit.
+namespace time {
+constexpr Time nanos(std::int64_t v) { return Time{v}; }
+constexpr Time micros(std::int64_t v) { return Time{v * 1'000}; }
+constexpr Time millis(std::int64_t v) { return Time{v * 1'000'000}; }
+constexpr Time seconds(std::int64_t v) { return Time{v * 1'000'000'000}; }
+constexpr Time minutes(std::int64_t v) { return seconds(v * 60); }
+constexpr Time hours(std::int64_t v) { return minutes(v * 60); }
+// Fractional-second helper for rate arithmetic (rounds to nearest ns).
+constexpr Time from_sec(double s) {
+  return Time{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+constexpr Time kForever{INT64_MAX};
+}  // namespace time
+
+}  // namespace w11

@@ -1,0 +1,86 @@
+#pragma once
+// Data-size and data-rate strong types.
+//
+// Bytes is an integer byte count; RateMbps a floating-point link/PHY rate.
+// The two interact through airtime computations: `transmit_time(bytes, rate)`.
+
+#include <cstdint>
+#include <compare>
+#include <ostream>
+
+#include "common/time.hpp"
+
+namespace w11 {
+
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+  [[nodiscard]] constexpr double kilobytes() const { return static_cast<double>(count_) / 1e3; }
+  [[nodiscard]] constexpr double megabytes() const { return static_cast<double>(count_) / 1e6; }
+  [[nodiscard]] constexpr double gigabytes() const { return static_cast<double>(count_) / 1e9; }
+  [[nodiscard]] constexpr double terabytes() const { return static_cast<double>(count_) / 1e12; }
+  [[nodiscard]] constexpr std::int64_t bits() const { return count_ * 8; }
+
+  constexpr Bytes& operator+=(Bytes rhs) { count_ += rhs.count_; return *this; }
+  constexpr Bytes& operator-=(Bytes rhs) { count_ -= rhs.count_; return *this; }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes{a.count_ + b.count_}; }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes{a.count_ - b.count_}; }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) { return Bytes{a.count_ * k}; }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Bytes b) {
+    return os << b.count_ << "B";
+  }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+namespace units {
+constexpr Bytes bytes(std::int64_t v) { return Bytes{v}; }
+constexpr Bytes kilobytes(std::int64_t v) { return Bytes{v * 1'000}; }
+constexpr Bytes megabytes(std::int64_t v) { return Bytes{v * 1'000'000}; }
+constexpr Bytes gigabytes(std::int64_t v) { return Bytes{v * 1'000'000'000}; }
+}  // namespace units
+
+// A data rate in megabits per second. PHY rates, TCP goodput, and uplink
+// capacities all use this type.
+class RateMbps {
+ public:
+  constexpr RateMbps() = default;
+  constexpr explicit RateMbps(double mbps) : mbps_(mbps) {}
+
+  [[nodiscard]] constexpr double mbps() const { return mbps_; }
+  [[nodiscard]] constexpr double bits_per_sec() const { return mbps_ * 1e6; }
+  [[nodiscard]] constexpr bool positive() const { return mbps_ > 0.0; }
+
+  friend constexpr RateMbps operator*(RateMbps r, double k) { return RateMbps{r.mbps_ * k}; }
+  friend constexpr RateMbps operator*(double k, RateMbps r) { return RateMbps{r.mbps_ * k}; }
+  friend constexpr RateMbps operator+(RateMbps a, RateMbps b) { return RateMbps{a.mbps_ + b.mbps_}; }
+  friend constexpr auto operator<=>(RateMbps, RateMbps) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, RateMbps r) {
+    return os << r.mbps_ << "Mbps";
+  }
+
+ private:
+  double mbps_ = 0.0;
+};
+
+// Time needed to serialize `size` at `rate`. Returns kForever for zero rate.
+constexpr Time transmit_time(Bytes size, RateMbps rate) {
+  if (!rate.positive()) return time::kForever;
+  const double seconds = static_cast<double>(size.bits()) / rate.bits_per_sec();
+  return time::from_sec(seconds);
+}
+
+// dBm power value; used for TX power, RSSI and noise floor.
+using Dbm = double;
+// Relative dB value (SNR, path loss).
+using Db = double;
+
+}  // namespace w11

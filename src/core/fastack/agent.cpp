@@ -1,0 +1,282 @@
+#include "core/fastack/agent.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace w11::fastack {
+
+FastAckAgent::FastAckAgent(Simulator& sim, AccessPoint& ap, Config cfg)
+    : sim_(sim), ap_(ap), cfg_(cfg), trace_(cfg.trace_capacity) {}
+
+FlowState& FastAckAgent::state_for(const TcpSegment& seg) {
+  FlowState& s = flows_[seg.flow];
+  if (!s.initialized) {
+    s.initialized = true;
+    s.client = seg.dst_station;
+    s.seq_exp = s.seq_fack = s.seq_tcp = s.last_client_ack = seg.seq;
+    s.seq_high = seg.seq;
+    s.client_rwnd = cfg_.initial_client_rwnd;
+    trace(seg.flow, TraceEvent::kFlowCreated, seg.seq);
+  }
+  return s;
+}
+
+TcpInterceptor::DataAction FastAckAgent::on_downlink_data(TcpSegment& seg) {
+  FlowState& s = state_for(seg);
+  const std::uint64_t seq_in = seg.seq;
+  const std::uint64_t end = seg.seq_end();
+
+  // Case (i): entirely below the fast-ACK point — the sender retransmitted
+  // data we already acknowledged on its behalf. Spurious; drop.
+  if (end <= s.seq_fack) {
+    ++stats_.spurious_retx_dropped;
+    trace(seg.flow, TraceEvent::kDataSpurious, seq_in, seg.payload);
+    return DataAction::kDrop;
+  }
+
+  // Case (ii): below the expected sequence — an end-to-end retransmission.
+  // Refresh the cache, clear any hole it fills, and forward with priority so
+  // it jumps the queue (§5.4 case ii).
+  if (seq_in < s.seq_exp) {
+    if (s.retx_cache.size() < cfg_.retx_cache_segments) {
+      s.retx_cache[seq_in] = seg;
+    }
+    std::erase_if(s.holes_vec,
+                  [&](const Hole& h) { return h.start >= seq_in && h.end <= end; });
+    ++stats_.e2e_retx_prioritized;
+    trace(seg.flow, TraceEvent::kDataRetransmit, seq_in, seg.payload);
+    // An end-to-end retransmission means the sender timed out — its clock
+    // stopped because the client fell behind the fast-ACK point (bytes the
+    // cache alone can supply, §5.5.1). Heal from the client's real ACK
+    // point, not just the sender's view.
+    if (s.seq_tcp < s.seq_fack) local_retransmit(seg.flow, s, s.seq_tcp);
+    return DataAction::kForwardPriority;
+  }
+
+  // Case (iv): beyond the expected sequence — something upstream dropped
+  // [seq_exp, seq_in). Record the hole and emulate the client's duplicate
+  // ACKs so the sender fast-retransmits instead of waiting for an RTO
+  // (§5.5.3). Then fall through to case (iii) handling.
+  if (seq_in > s.seq_exp) {
+    s.holes_vec.push_back(Hole{s.seq_exp, seq_in});
+    ++stats_.holes_detected;
+    trace(seg.flow, TraceEvent::kHoleDetected, s.seq_exp, seq_in - s.seq_exp);
+    if (cfg_.emulate_hole_dupacks) {
+      for (int i = 0; i < 3; ++i) {
+        TcpSegment dup;
+        dup.flow = seg.flow;
+        dup.dst_station = s.client;
+        dup.is_ack = true;
+        dup.ack = s.seq_fack;
+        dup.rwnd = advertised_window(s);
+        dup.sacks.push_back(SackBlock{seq_in, end});
+        dup.sent_at = sim_.now();
+        ++stats_.hole_dupacks_sent;
+        trace(seg.flow, TraceEvent::kHoleDupAck, s.seq_fack);
+        ap_.send_to_wire(std::move(dup));
+      }
+    }
+  }
+
+  // Case (iii): in-order (or first-past-a-hole) data: cache and forward.
+  if (s.retx_cache.size() < cfg_.retx_cache_segments) {
+    s.retx_cache[seq_in] = seg;
+  } else {
+    ++stats_.cache_overflow;
+  }
+  s.seq_exp = end;
+  s.seq_high = std::max(s.seq_high, end);
+  trace(seg.flow, TraceEvent::kDataInOrder, seq_in, seg.payload);
+  return DataAction::kForward;
+}
+
+void FastAckAgent::on_80211_delivered(const TcpSegment& seg) {
+  const auto it = flows_.find(seg.flow);
+  if (it == flows_.end()) return;
+  FlowState& s = it->second;
+
+  if (!cfg_.require_contiguity) {
+    // Naive mode (ablation D4): acknowledge whatever the air delivered,
+    // even past missing MPDUs.
+    if (seg.seq_end() > s.seq_fack) {
+      s.seq_fack = seg.seq_end();
+      emit_fast_ack(seg.flow, s, /*window_update_only=*/false);
+    }
+    return;
+  }
+
+  s.q_seq.insert(AckedRange{seg.seq, seg.seq_end()});
+  trace(seg.flow, TraceEvent::kAirAck, seg.seq, seg.payload);
+  drain_q_seq(seg.flow, s);
+}
+
+void FastAckAgent::drain_q_seq(FlowId flow, FlowState& s) {
+  // Fast-ack the contiguous prefix of 802.11-acked ranges (§5.4): ranges
+  // whose start is at or below seq_fack extend it; a gap stops the drain
+  // until the missing 802.11 ACK arrives.
+  bool advanced = false;
+  while (!s.q_seq.empty()) {
+    const auto it = s.q_seq.begin();
+    if (it->end <= s.seq_fack) {
+      s.q_seq.erase(it);  // stale duplicate (e.g. local retransmission)
+      continue;
+    }
+    if (it->start <= s.seq_fack) {
+      s.seq_fack = it->end;
+      s.q_seq.erase(it);
+      advanced = true;
+      continue;
+    }
+    break;  // contiguity broken
+  }
+  if (advanced) emit_fast_ack(flow, s, /*window_update_only=*/false);
+}
+
+bool FastAckAgent::on_uplink_ack(const TcpSegment& ack) {
+  const auto it = flows_.find(ack.flow);
+  if (it == flows_.end()) return false;  // not a fast-acked flow
+  FlowState& s = it->second;
+  s.client_rwnd = ack.rwnd;
+
+  if (ack.ack > s.seq_tcp) {
+    s.seq_tcp = ack.ack;
+    s.last_client_ack = ack.ack;
+    s.client_dupacks = 0;
+    // Evict acknowledged segments from the retransmission cache.
+    for (auto c = s.retx_cache.begin(); c != s.retx_cache.end();) {
+      if (c->second.seq_end() <= s.seq_tcp) {
+        c = s.retx_cache.erase(c);
+        ++stats_.cache_evictions;
+      } else {
+        break;  // map is seq-ordered
+      }
+    }
+    // A suppressed client ACK may carry the window update that un-sticks a
+    // stalled sender; re-advertise if the window meaningfully reopened.
+    // (Needed in both rwnd modes — suppression eats the client's update.)
+    if (cfg_.emit_window_updates && cfg_.suppress_client_acks &&
+        s.last_advertised_rwnd < 1460 && advertised_window(s) >= 1460) {
+      emit_fast_ack(ack.flow, s, /*window_update_only=*/true);
+    }
+  } else if (ack.ack == s.last_client_ack && !ack.has_payload()) {
+    // Duplicate ACK from the client: it is missing data the AP already
+    // fast-acked (wireless loss or a bad 802.11 hint). Serve it locally
+    // from the cache — never bother the sender (§5.5.1).
+    ++s.client_dupacks;
+    trace(ack.flow, TraceEvent::kClientDupAck, ack.ack,
+          static_cast<std::uint64_t>(s.client_dupacks));
+    if (s.client_dupacks >= cfg_.local_retx_dupack_threshold) {
+      local_retransmit(ack.flow, s, ack.ack);
+    }
+  }
+  if (s.client_dupacks == 0 && s.seq_tcp > s.seq_fack) {
+    // Naive-mode bookkeeping: never let the fast-ACK point fall behind what
+    // the client has actually acknowledged.
+    s.seq_fack = s.seq_tcp;
+  }
+
+  if (!cfg_.suppress_client_acks) {
+    trace(ack.flow, TraceEvent::kClientAckPassed, ack.ack);
+    return false;
+  }
+  ++stats_.client_acks_suppressed;
+  trace(ack.flow, TraceEvent::kClientAckSuppressed, ack.ack);
+  return true;
+}
+
+void FastAckAgent::on_mpdu_dropped(const TcpSegment& seg) {
+  // 802.11 retries exhausted: the fast-ACK point stalls here, no fast ACKs
+  // flow, and the sender's RTO eventually drives an end-to-end
+  // retransmission (case ii). Deliberately nothing to do (§5.5.1,
+  // "timeout-based retransmissions").
+  trace(seg.flow, TraceEvent::kMpduDropped, seg.seq, seg.payload);
+}
+
+bool FastAckAgent::retx_rate_limited(const FlowState& s,
+                                     std::uint64_t from_seq) const {
+  return from_seq < s.local_retx_horizon &&
+         sim_.now() - s.local_retx_at < cfg_.local_retx_holdoff;
+}
+
+void FastAckAgent::local_retransmit(FlowId flow, FlowState& s,
+                                    std::uint64_t from_seq) {
+  if (retx_rate_limited(s, from_seq)) return;  // copies already in flight
+
+  // Find the cached segment covering `from_seq`.
+  auto it = s.retx_cache.upper_bound(from_seq);
+  if (it != s.retx_cache.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->second.seq_end() > from_seq) it = prev;
+  }
+  if (it == s.retx_cache.end() || it->first > from_seq) {
+    // Cache miss (overflow or the byte was never seen); the sender's own
+    // machinery must recover.
+    return;
+  }
+  // Re-inject a bounded burst of consecutive cached segments, but never
+  // past the fast-ACK point (beyond it the sender is still in charge).
+  int injected = 0;
+  for (; it != s.retx_cache.end() && injected < cfg_.local_retx_burst &&
+         it->first < s.seq_fack;
+       ++it) {
+    TcpSegment copy = it->second;
+    copy.dst_station = s.client;
+    ++stats_.local_retransmits;
+    ++injected;
+    s.local_retx_horizon = std::max(s.local_retx_horizon, copy.seq_end());
+    trace(flow, TraceEvent::kLocalRetransmit, copy.seq, copy.payload);
+    ap_.inject_downlink(std::move(copy), /*priority=*/true);
+  }
+  if (injected > 0) s.local_retx_at = sim_.now();
+}
+
+std::uint64_t FastAckAgent::advertised_window(const FlowState& s) const {
+  if (!cfg_.rewrite_rwnd) return s.client_rwnd;
+  const std::uint64_t out = s.outstanding_bytes();
+  return s.client_rwnd > out ? s.client_rwnd - out : 0;
+}
+
+void FastAckAgent::emit_fast_ack(FlowId flow, FlowState& s,
+                                 bool window_update_only) {
+  TcpSegment ack;
+  ack.flow = flow;
+  ack.dst_station = s.client;
+  ack.is_ack = true;
+  ack.ack = s.seq_fack;
+  ack.rwnd = advertised_window(s);
+  ack.sent_at = sim_.now();
+  s.last_advertised_rwnd = ack.rwnd;
+  if (window_update_only) {
+    ++stats_.window_updates_sent;
+    trace(flow, TraceEvent::kWindowUpdate, ack.ack, ack.rwnd);
+  } else {
+    ++stats_.fast_acks_sent;
+    trace(flow, TraceEvent::kFastAck, ack.ack, ack.rwnd);
+  }
+  ap_.send_to_wire(std::move(ack));
+}
+
+std::optional<FlowState> FastAckAgent::export_flow(FlowId flow) {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) return std::nullopt;
+  FlowState out = std::move(it->second);
+  flows_.erase(it);
+  return out;
+}
+
+void FastAckAgent::import_flow(FlowId flow, FlowState state) {
+  // Pending 802.11-ack ranges belong to the roam-from AP's air; they will
+  // never be acknowledged here, so fast-acking resumes from seq_fack as new
+  // MPDUs are delivered by this AP.
+  state.q_seq.clear();
+  state.client_dupacks = 0;
+  flows_[flow] = std::move(state);
+}
+
+const FlowState* FastAckAgent::flow_state(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+}  // namespace w11::fastack

@@ -1,0 +1,112 @@
+#pragma once
+// The FastACK agent (§5.2, §5.4, §5.5).
+//
+// Runs on the AP and plugs into its datapath via wlan::TcpInterceptor.
+// On every 802.11 ACK for a downlink TCP data MPDU it synthesizes the
+// corresponding cumulative TCP ACK toward the sender ("fast ACK"),
+// suppresses the client's own (now duplicate) TCP ACKs, serves client
+// loss-recovery from a local retransmission cache, rewrites the advertised
+// receive window to account for bytes the AP holds, and emulates duplicate
+// ACKs for holes caused by upstream drops.
+//
+// Every knob the paper discusses — and every design decision DESIGN.md
+// marks as an ablation candidate — is switchable in Config.
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "core/fastack/flow_state.hpp"
+#include "core/fastack/trace.hpp"
+#include "net/tcp_segment.hpp"
+#include "sim/simulator.hpp"
+#include "wlan/access_point.hpp"
+#include "wlan/interceptor.hpp"
+
+namespace w11::fastack {
+
+class FastAckAgent : public TcpInterceptor {
+ public:
+  struct Config {
+    // Cache at most this many segments per flow; overflow disables local
+    // retransmission for the overflowed bytes (sender RTO covers them).
+    std::size_t retx_cache_segments = 4096;
+    // §5.5.2 receive-window rewriting: rx'win = rxwin − outbytes.
+    bool rewrite_rwnd = true;
+    // Emit a pure window-update ACK when a suppressed client ACK reopens a
+    // window the sender last saw as (nearly) closed. Engineering addition;
+    // without it the sender could deadlock on a zero window because the
+    // client ACK carrying the update is dropped at the AP.
+    bool emit_window_updates = true;
+    // §5.5.3 duplicate-ACK emulation for upstream holes.
+    bool emulate_hole_dupacks = true;
+    // Suppress the client's own TCP ACKs (ablation D6).
+    bool suppress_client_acks = true;
+    // Only fast-ack contiguous 802.11-acked prefixes (ablation D4). When
+    // false the agent naively acks every delivered MPDU's end, which can
+    // acknowledge past holes.
+    bool require_contiguity = true;
+    // Local retransmission fires after this many duplicate client ACKs.
+    int local_retx_dupack_threshold = 1;
+    // At most this many cached segments are re-injected per trigger, and a
+    // given byte range is not re-injected again within the holdoff — this
+    // keeps dup-ACK bursts from flooding the downlink queue with copies.
+    int local_retx_burst = 64;
+    Time local_retx_holdoff = time::millis(100);
+    // Client receive window assumed until the first client ACK reveals the
+    // real one (a deployed agent learns it from the SYN handshake, which
+    // this model does not carry).
+    std::uint64_t initial_client_rwnd = 1 << 20;
+    // Debug switches (paper fn. 9): record every datapath event into a
+    // bounded ring for tests and live debugging.
+    bool trace_enabled = false;
+    std::size_t trace_capacity = 4096;
+  };
+
+  FastAckAgent(Simulator& sim, AccessPoint& ap, Config cfg);
+
+  // TcpInterceptor ------------------------------------------------------
+  DataAction on_downlink_data(TcpSegment& seg) override;
+  bool on_uplink_ack(const TcpSegment& ack) override;
+  void on_80211_delivered(const TcpSegment& seg) override;
+  void on_mpdu_dropped(const TcpSegment& seg) override;
+
+  // Roaming (§5.5.4) ----------------------------------------------------
+  // Extract a flow's state — including the retransmission cache — for
+  // transfer to the roam-to AP's agent, and install state arriving from a
+  // roam-from AP. The paper requires such a mechanism for controller-less
+  // roaming but leaves it unspecified; this is the minimal faithful one.
+  [[nodiscard]] std::optional<FlowState> export_flow(FlowId flow);
+  void import_flow(FlowId flow, FlowState state);
+
+  // Introspection -------------------------------------------------------
+  [[nodiscard]] const FlowState* flow_state(FlowId flow) const;
+  [[nodiscard]] const FlowStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t tracked_flows() const { return flows_.size(); }
+  [[nodiscard]] const TraceRing& trace_ring() const { return trace_; }
+  [[nodiscard]] TraceRing& trace_ring() { return trace_; }
+
+ private:
+  FlowState& state_for(const TcpSegment& seg);
+  void drain_q_seq(FlowId flow, FlowState& s);
+  void emit_fast_ack(FlowId flow, FlowState& s, bool window_update_only);
+  void local_retransmit(FlowId flow, FlowState& s, std::uint64_t from_seq);
+  [[nodiscard]] bool retx_rate_limited(const FlowState& s,
+                                       std::uint64_t from_seq) const;
+  [[nodiscard]] std::uint64_t advertised_window(const FlowState& s) const;
+
+  void trace(FlowId flow, TraceEvent event, std::uint64_t seq,
+             std::uint64_t extra = 0) {
+    if (cfg_.trace_enabled)
+      trace_.record(TraceRecord{sim_.now(), flow, event, seq, extra});
+  }
+
+  Simulator& sim_;
+  AccessPoint& ap_;
+  Config cfg_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  FlowStats stats_;
+  TraceRing trace_;
+};
+
+}  // namespace w11::fastack

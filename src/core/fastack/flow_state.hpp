@@ -1,0 +1,85 @@
+#pragma once
+// Per-flow FastACK state, Table 3 of the paper.
+//
+//   holes_vec — TCP holes (upstream losses) observed at the AP
+//   seq_high  — highest TCP data sequence seen from the sender
+//   seq_exp   — next expected TCP data sequence from the sender
+//   seq_fack  — cumulative fast-ACK point (last byte fast-acked + 1)
+//   seq_tcp   — cumulative ACK point confirmed by the client's own TCP
+//   q_seq     — 802.11-acked segment ranges awaiting contiguous fast-ACK
+//
+// Invariant maintained throughout: seq_fack <= seq_exp (the AP can never
+// fast-ack bytes the sender has not yet delivered to it), and
+// seq_tcp <= seq_fack whenever the client is behind the fast-ACK point.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "net/tcp_segment.hpp"
+
+namespace w11::fastack {
+
+struct Hole {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;  // exclusive
+  friend constexpr auto operator<=>(const Hole&, const Hole&) = default;
+};
+
+// A segment range acknowledged at the 802.11 layer, pending fast-ACK.
+struct AckedRange {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  friend constexpr auto operator<=>(const AckedRange&, const AckedRange&) = default;
+};
+
+struct FlowState {
+  StationId client;
+  bool initialized = false;
+
+  std::vector<Hole> holes_vec;
+  std::uint64_t seq_high = 0;
+  std::uint64_t seq_exp = 0;
+  std::uint64_t seq_fack = 0;
+  std::uint64_t seq_tcp = 0;
+  std::set<AckedRange> q_seq;
+
+  // Retransmission cache: segment start -> cached copy. Entries are evicted
+  // when the client's real TCP ACK (seq_tcp) passes them.
+  std::map<std::uint64_t, TcpSegment> retx_cache;
+
+  // Client-side flow-control bookkeeping (§5.5.2).
+  std::uint64_t client_rwnd = 0;
+  std::uint64_t last_advertised_rwnd = 0;
+
+  // Duplicate-ACK tracking for local retransmissions.
+  std::uint64_t last_client_ack = 0;
+  int client_dupacks = 0;
+  // Local-retransmission rate limiting: bytes already re-injected and when,
+  // so a dup-ACK burst cannot flood the downlink queue with copies.
+  std::uint64_t local_retx_horizon = 0;
+  Time local_retx_at{};
+
+  [[nodiscard]] std::uint64_t outstanding_bytes() const {
+    return seq_high > seq_tcp ? seq_high - seq_tcp : 0;
+  }
+};
+
+struct FlowStats {
+  std::uint64_t fast_acks_sent = 0;
+  std::uint64_t window_updates_sent = 0;
+  std::uint64_t local_retransmits = 0;
+  std::uint64_t holes_detected = 0;
+  std::uint64_t hole_dupacks_sent = 0;
+  std::uint64_t spurious_retx_dropped = 0;
+  std::uint64_t e2e_retx_prioritized = 0;
+  std::uint64_t client_acks_suppressed = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_overflow = 0;
+};
+
+}  // namespace w11::fastack

@@ -1,0 +1,20 @@
+#include "core/fastack/trace.hpp"
+
+#include <sstream>
+
+namespace w11::fastack {
+
+std::string TraceRecord::to_string() const {
+  std::ostringstream os;
+  os << at.ms() << "ms " << flow << " " << fastack::to_string(event)
+     << " seq=" << seq;
+  if (extra != 0) os << " extra=" << extra;
+  return os.str();
+}
+
+void TraceRing::dump(std::ostream& os) const {
+  for (const TraceRecord& r : snapshot()) os << r.to_string() << "\n";
+  if (dropped_ > 0) os << "(" << dropped_ << " older records evicted)\n";
+}
+
+}  // namespace w11::fastack

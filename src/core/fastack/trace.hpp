@@ -1,0 +1,110 @@
+#pragma once
+// FastACK event tracing — the "debug switches" of the paper's fn. 9.
+//
+// A bounded ring of typed datapath events per agent. Cheap enough to leave
+// compiled in (an enum + three integers per event), enabled per agent at
+// runtime; tests assert on event sequences and operators debug live flows
+// by dumping the ring.
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace w11::fastack {
+
+enum class TraceEvent : std::uint8_t {
+  kFlowCreated,
+  kDataInOrder,       // case (iii)
+  kDataRetransmit,    // case (ii)
+  kDataSpurious,      // case (i) dropped
+  kHoleDetected,      // case (iv)
+  kHoleDupAck,
+  kAirAck,            // 802.11 ack absorbed into q_seq
+  kFastAck,
+  kWindowUpdate,
+  kClientAckSuppressed,
+  kClientAckPassed,
+  kClientDupAck,
+  kLocalRetransmit,
+  kMpduDropped,
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kFlowCreated: return "flow-created";
+    case TraceEvent::kDataInOrder: return "data-in-order";
+    case TraceEvent::kDataRetransmit: return "data-e2e-retx";
+    case TraceEvent::kDataSpurious: return "data-spurious-dropped";
+    case TraceEvent::kHoleDetected: return "hole-detected";
+    case TraceEvent::kHoleDupAck: return "hole-dupack";
+    case TraceEvent::kAirAck: return "80211-ack";
+    case TraceEvent::kFastAck: return "fast-ack";
+    case TraceEvent::kWindowUpdate: return "window-update";
+    case TraceEvent::kClientAckSuppressed: return "client-ack-suppressed";
+    case TraceEvent::kClientAckPassed: return "client-ack-passed";
+    case TraceEvent::kClientDupAck: return "client-dupack";
+    case TraceEvent::kLocalRetransmit: return "local-retx";
+    case TraceEvent::kMpduDropped: return "mpdu-dropped";
+  }
+  return "?";
+}
+
+struct TraceRecord {
+  Time at{};
+  FlowId flow;
+  TraceEvent event{};
+  std::uint64_t seq = 0;    // event-specific sequence / ack number
+  std::uint64_t extra = 0;  // event-specific (length, window, count)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Fixed-capacity ring buffer of trace records. Oldest entries are evicted
+// once capacity is reached; `dropped()` reports how many.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(TraceRecord r) {
+    if (records_.size() < capacity_) {
+      records_.push_back(r);
+    } else {
+      records_[head_] = r;
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    }
+  }
+
+  // Records in chronological order.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const {
+    std::vector<TraceRecord> out;
+    out.reserve(records_.size());
+    for (std::size_t i = 0; i < records_.size(); ++i)
+      out.push_back(records_[(head_ + i) % records_.size()]);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear() {
+    records_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  void dump(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace w11::fastack

@@ -1,0 +1,97 @@
+#include "core/snoop/snoop_agent.hpp"
+
+#include <algorithm>
+
+namespace w11::snoop {
+
+SnoopAgent::SnoopAgent(Simulator& sim, AccessPoint& ap, Config cfg)
+    : sim_(sim), ap_(ap), cfg_(cfg) {}
+
+TcpInterceptor::DataAction SnoopAgent::on_downlink_data(TcpSegment& seg) {
+  SnoopFlow& f = flows_[seg.flow];
+  if (!f.initialized) {
+    f.initialized = true;
+    f.client = seg.dst_station;
+    f.seq_exp = seg.seq;
+    f.last_ack = seg.seq;
+  }
+  // Cache every (re)transmission not yet acknowledged by the client.
+  if (f.cache.size() < cfg_.cache_segments) f.cache[seg.seq] = seg;
+  const bool retransmission = seg.seq < f.seq_exp;
+  f.seq_exp = std::max(f.seq_exp, seg.seq_end());
+  // Sender retransmissions jump the queue, same as FastACK's case (ii).
+  return retransmission ? DataAction::kForwardPriority : DataAction::kForward;
+}
+
+bool SnoopAgent::on_uplink_ack(const TcpSegment& ack) {
+  const auto it = flows_.find(ack.flow);
+  if (it == flows_.end()) return false;
+  SnoopFlow& f = it->second;
+
+  if (ack.ack > f.last_ack) {
+    // New ACK: evict covered segments, pass it to the sender untouched.
+    f.last_ack = ack.ack;
+    f.dupacks = 0;
+    for (auto c = f.cache.begin(); c != f.cache.end();) {
+      if (c->second.seq_end() <= ack.ack) {
+        c = f.cache.erase(c);
+        ++stats_.cache_evictions;
+      } else {
+        break;
+      }
+    }
+    ++stats_.acks_passed;
+    return false;
+  }
+
+  if (ack.ack == f.last_ack && !ack.has_payload()) {
+    // Duplicate ACK for data we hold: retransmit locally and SUPPRESS it so
+    // the sender's congestion window never learns about the wireless loss —
+    // Snoop's whole trick.
+    ++f.dupacks;
+    if (f.dupacks >= cfg_.dupack_threshold && f.cache.contains(ack.ack)) {
+      local_retransmit(f, ack.ack);
+      ++stats_.dupacks_suppressed;
+      return true;
+    }
+    // Dup-ACK for data we no longer hold: the sender must handle it.
+    ++stats_.acks_passed;
+    return false;
+  }
+  ++stats_.acks_passed;
+  return false;
+}
+
+void SnoopAgent::local_retransmit(SnoopFlow& f, std::uint64_t from_seq) {
+  if (from_seq < f.retx_horizon && sim_.now() - f.retx_at < cfg_.retx_holdoff)
+    return;
+  auto it = f.cache.lower_bound(from_seq);
+  int injected = 0;
+  for (; it != f.cache.end() && injected < cfg_.retx_burst; ++it) {
+    TcpSegment copy = it->second;
+    copy.dst_station = f.client;
+    ++stats_.local_retransmits;
+    ++injected;
+    f.retx_horizon = std::max(f.retx_horizon, copy.seq_end());
+    ap_.inject_downlink(std::move(copy), /*priority=*/true);
+  }
+  if (injected > 0) f.retx_at = sim_.now();
+}
+
+void SnoopAgent::on_80211_delivered(const TcpSegment& seg) {
+  // Snoop keys its cache on client TCP ACKs, not link-layer ACKs.
+  (void)seg;
+}
+
+void SnoopAgent::on_mpdu_dropped(const TcpSegment& seg) {
+  // Retry exhaustion: the client will dup-ACK when later data lands, and
+  // the cache will serve it; nothing to do eagerly.
+  (void)seg;
+}
+
+const SnoopFlow* SnoopAgent::flow(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+}  // namespace w11::snoop

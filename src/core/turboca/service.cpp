@@ -1,0 +1,124 @@
+#include "core/turboca/service.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace w11::turboca {
+
+TurboCaService::TurboCaService(Params params, Schedule schedule,
+                               NetworkHooks hooks, Rng rng)
+    : engine_(params, std::move(rng)), schedule_(schedule),
+      hooks_(std::move(hooks)) {
+  W11_CHECK(hooks_.scan && hooks_.current_plan && hooks_.apply_plan);
+}
+
+void TurboCaService::advance_to(Time now) {
+  // Slowest tier first; each tier's run already ends in i = 0, so a firing
+  // of a slower tier also satisfies the faster ones.
+  if (now - last_slow_ >= schedule_.slow) {
+    run_now({2, 1, 0});
+    last_slow_ = last_medium_ = last_fast_ = now;
+    return;
+  }
+  if (now - last_medium_ >= schedule_.medium) {
+    run_now({1, 0});
+    last_medium_ = last_fast_ = now;
+    return;
+  }
+  if (now - last_fast_ >= schedule_.fast) {
+    run_now({0});
+    last_fast_ = now;
+  }
+}
+
+void TurboCaService::run_now(const std::vector<int>& levels) {
+  const std::vector<ApScan> scans = hooks_.scan();
+  if (scans.empty()) return;
+  ChannelPlan plan = hooks_.current_plan();
+  bool improved = false;
+  double netp = 0.0;
+  for (int level : levels) {
+    const TurboCA::RunResult r = engine_.run(scans, plan, level);
+    plan = r.plan;
+    netp = r.netp_log;
+    improved = improved || r.improved;
+  }
+  ++stats_.runs;
+  stats_.last_netp_log = netp;
+  if (improved) {
+    const ChannelPlan before = hooks_.current_plan();
+    int switches = 0;
+    for (const auto& [id, ch] : plan) {
+      const auto it = before.find(id);
+      if (it == before.end() || it->second != ch) ++switches;
+    }
+    stats_.channel_switches += switches;
+    ++stats_.plans_applied;
+    hooks_.apply_plan(plan);
+  }
+}
+
+ReservedCaService::ReservedCaService(Config cfg, Params params,
+                                     NetworkHooks hooks, Rng rng)
+    : cfg_(cfg), engine_(params, std::move(rng)), hooks_(std::move(hooks)) {
+  W11_CHECK(hooks_.scan && hooks_.current_plan && hooks_.apply_plan);
+}
+
+void ReservedCaService::advance_to(Time now) {
+  if (now - last_run_ < cfg_.period) return;
+  last_run_ = now;
+  run_now();
+}
+
+void ReservedCaService::run_now() {
+  const std::vector<ApScan> scans = hooks_.scan();
+  if (scans.empty()) return;
+  ChannelPlan plan = hooks_.current_plan();
+  const std::set<ApId> none;
+
+  // Sequential sweep: each AP takes its isolated best channel given
+  // everyone else's *current* choice — the locally-optimal trap of §4.3.2.
+  for (const ApScan& s : scans) {
+    ApScan fixed = s;
+    fixed.max_width = std::min(s.max_width, cfg_.fixed_width);
+    // Keep the width fixed: candidates at exactly the configured width
+    // (or 20 MHz on 2.4 GHz).
+    Channel best = s.current;
+    double best_score = -std::numeric_limits<double>::infinity();
+    const bool allow_dfs = s.dfs_capable && !s.has_clients;
+    std::vector<Channel> cands;
+    if (s.band == Band::G2_4) {
+      cands = channels::us_catalog(Band::G2_4, ChannelWidth::MHz20);
+    } else {
+      cands = channels::us_catalog(Band::G5, fixed.max_width);
+      std::erase_if(cands, [&](const Channel& c) {
+        return !allow_dfs && c.is_dfs();
+      });
+      if (cands.empty())
+        cands = channels::candidate_set(Band::G5, fixed.max_width, allow_dfs);
+    }
+    if (std::find(cands.begin(), cands.end(), s.current) == cands.end())
+      cands.push_back(s.current);
+    for (const Channel& c : cands) {
+      const double score = engine_.node_p_log(fixed, c, scans, plan, none);
+      if (score > best_score + 1e-9) {
+        best_score = score;
+        best = c;
+      }
+    }
+    plan[s.id] = best;
+  }
+
+  const ChannelPlan before = hooks_.current_plan();
+  int switches = 0;
+  for (const auto& [id, ch] : plan) {
+    const auto it = before.find(id);
+    if (it == before.end() || it->second != ch) ++switches;
+  }
+  stats_.channel_switches += switches;
+  ++stats_.runs;
+  hooks_.apply_plan(plan);
+}
+
+}  // namespace w11::turboca

@@ -1,0 +1,97 @@
+#pragma once
+// Channel-assignment services: TurboCA's run-time schedule (§4.4.4) and the
+// ReservedCA baseline it replaced (§4.6.1).
+//
+// Both are driven by a coarse wall-clock tick (the experiment harness calls
+// advance_to(t) as its timeline progresses) and consume fresh ApScans at
+// each firing. TurboCA fires NBO(i=0) every 15 minutes, NBO(i=1)+NBO(i=0)
+// every 3 hours, and NBO(i=2,1,0) daily. ReservedCA re-plans every 5 hours
+// by sequentially assigning each AP its isolated best channel at a fixed
+// width.
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "core/turboca/turboca.hpp"
+#include "flowsim/scan.hpp"
+
+namespace w11::turboca {
+
+// Supplies scans / current plan and applies accepted plans. Decouples the
+// services from flowsim so they can run against recorded data too.
+struct NetworkHooks {
+  std::function<std::vector<ApScan>()> scan;
+  std::function<ChannelPlan()> current_plan;
+  std::function<void(const ChannelPlan&)> apply_plan;
+};
+
+class TurboCaService {
+ public:
+  struct Schedule {
+    Time fast = time::minutes(15);   // NBO(0)
+    Time medium = time::hours(3);    // NBO(1), NBO(0)
+    Time slow = time::hours(24);     // NBO(2), NBO(1), NBO(0)
+  };
+
+  struct Stats {
+    int runs = 0;
+    int plans_applied = 0;
+    int channel_switches = 0;
+    double last_netp_log = 0.0;
+  };
+
+  TurboCaService(Params params, Schedule schedule, NetworkHooks hooks, Rng rng);
+
+  // Advance the service's clock, firing every due schedule tier. Tiers due
+  // at the same instant run slowest-first so each run ends with i = 0
+  // (§4.4.4: "All schedules end with i = 0").
+  void advance_to(Time now);
+
+  // Run one full pass with hop limits `levels` (e.g. {2,1,0}) immediately.
+  void run_now(const std::vector<int>& levels);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  TurboCA engine_;
+  Schedule schedule_;
+  NetworkHooks hooks_;
+  Time last_fast_{};
+  Time last_medium_{};
+  Time last_slow_{};
+  Stats stats_;
+};
+
+// ReservedCA (§4.6.1): sequential, per-AP isolated maximization at a fixed
+// channel width, every 5 hours. Its key limitations — no neighbor-aware
+// NetP, no width adaptation, slow cadence — are exactly what TurboCA fixes.
+class ReservedCaService {
+ public:
+  struct Config {
+    Time period = time::hours(5);
+    ChannelWidth fixed_width = ChannelWidth::MHz40;
+  };
+
+  struct Stats {
+    int runs = 0;
+    int channel_switches = 0;
+  };
+
+  ReservedCaService(Config cfg, Params params, NetworkHooks hooks, Rng rng);
+
+  void advance_to(Time now);
+  void run_now();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  Config cfg_;
+  TurboCA engine_;  // reuses NodeP for the isolated per-AP score
+  NetworkHooks hooks_;
+  Time last_run_{};
+  Stats stats_;
+};
+
+}  // namespace w11::turboca

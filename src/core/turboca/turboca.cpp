@@ -1,0 +1,263 @@
+#include "core/turboca/turboca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace w11::turboca {
+
+namespace {
+
+constexpr double kLogFloor = -40.0;  // log of an effectively-zero metric
+
+// The b-wide channel containing `c`'s primary 20 MHz sub-channel.
+Channel sub_channel(const Channel& c, ChannelWidth b) {
+  if (b == c.width) return c;
+  const Channel prim = c.primary20();
+  if (b == ChannelWidth::MHz20) return prim;
+  for (const Channel& cand : channels::us_catalog(c.band, b)) {
+    for (int comp : cand.components())
+      if (comp == prim.number) return cand;
+  }
+  return prim;  // no bonded container exists; degrade to primary
+}
+
+const ApScan* find_scan(const std::vector<ApScan>& scans, ApId id) {
+  for (const auto& s : scans)
+    if (s.id == id) return &s;
+  return nullptr;
+}
+
+Channel planned_channel(const ApScan& s, const ChannelPlan& plan) {
+  const auto it = plan.find(s.id);
+  return it != plan.end() ? it->second : s.current;
+}
+
+}  // namespace
+
+TurboCA::TurboCA(Params params, Rng rng)
+    : params_(params), rng_(std::move(rng)) {}
+
+double TurboCA::channel_metric(const ApScan& a, const Channel& c,
+                               ChannelWidth b, const std::vector<ApScan>& scans,
+                               const ChannelPlan& plan,
+                               const std::set<ApId>& ignore) const {
+  const Channel sub = sub_channel(c, b);
+
+  // External (non-network) utilization on the sub-channel: worst component.
+  double ext = 0.0;
+  double quality = 1.0;
+  int comps = 0;
+  for (int comp : sub.components()) {
+    const auto u = a.external_util.find(comp);
+    if (u != a.external_util.end()) ext = std::max(ext, u->second);
+    const auto q = a.quality.find(comp);
+    quality += (q != a.quality.end() ? q->second : 1.0);
+    ++comps;
+  }
+  quality = (quality - 1.0) / std::max(comps, 1);
+
+  // Same-network contenders whose planned channel overlaps the sub-channel.
+  int contenders = 0;
+  for (const NeighborReport& nb : a.neighbors) {
+    if (nb.rssi < params_.neighbor_rssi_floor) continue;
+    if (ignore.contains(nb.id)) continue;  // ψ: presume they will move
+    const ApScan* ns = find_scan(scans, nb.id);
+    if (ns == nullptr) continue;
+    if (planned_channel(*ns, plan).overlaps(sub)) ++contenders;
+  }
+
+  const double airtime =
+      std::clamp((1.0 - ext) / (1.0 + contenders), 0.0, 1.0);
+
+  double penalty = 0.0;
+  if (c != a.current) {
+    penalty = params_.switch_penalty;
+    if (a.band == Band::G2_4) penalty = params_.switch_penalty_24ghz;
+    if (a.utilization_current > params_.high_util_threshold)
+      penalty = std::max(penalty, params_.switch_penalty_high_util);
+    if (!a.has_clients) penalty = 0.0;  // nothing to disrupt
+  }
+
+  // capacity(c,b) scales with bandwidth (achievable rate ∝ width); keeping
+  // the metric rate-like (able to exceed 1) is what makes wider channels
+  // win when airtime is available and lose when contention eats the gain.
+  return static_cast<double>(width_mhz(b)) * (airtime * quality - penalty);
+}
+
+double TurboCA::node_p_log(const ApScan& a, const Channel& c,
+                           const std::vector<ApScan>& scans,
+                           const ChannelPlan& plan,
+                           const std::set<ApId>& ignore) const {
+  double log_p = 0.0;
+  for (ChannelWidth b : widths_up_to(c.width)) {
+    // load(b): clients whose *usable* width at this assignment is b, i.e.
+    // min(client max width, cw). Clients wider than the candidate channel
+    // still load its top layer — narrowing an AP never makes its clients
+    // disappear from the metric. Clientless APs get a small uniform load
+    // so they weakly prefer clean (and wide) channels.
+    double load = 0.0;
+    for (const auto& [w, l] : a.load_by_width) {
+      if (std::min(w, c.width) == b) load += l;
+    }
+    if (a.total_load() <= 0.0) load = params_.empty_ap_load;
+    if (load <= 0.0) continue;
+    const double metric = channel_metric(a, c, b, scans, plan, ignore);
+    log_p += load * (metric > 1e-12 ? std::log(metric) : kLogFloor);
+  }
+  return log_p;
+}
+
+double TurboCA::net_p_log(const std::vector<ApScan>& scans,
+                          const ChannelPlan& plan) const {
+  double total = 0.0;
+  const std::set<ApId> none;
+  for (const ApScan& s : scans)
+    total += node_p_log(s, planned_channel(s, plan), scans, plan, none);
+  return total;
+}
+
+std::vector<Channel> TurboCA::candidates_for(const ApScan& a) const {
+  // §4.5.2: an AP with connected clients must not move to a DFS channel
+  // (the CAC would strand them); DFS-incapable hardware never can.
+  const bool allow_dfs = a.dfs_capable && !a.has_clients;
+  std::vector<Channel> cands =
+      channels::candidate_set(a.band, a.max_width, allow_dfs);
+  // The current channel is always a candidate (e.g. the AP already sits on
+  // a DFS channel it may keep).
+  if (std::find(cands.begin(), cands.end(), a.current) == cands.end())
+    cands.push_back(a.current);
+  return cands;
+}
+
+Channel TurboCA::acc(const ApScan& target, const std::vector<ApScan>& scans,
+                     const ChannelPlan& plan, const std::set<ApId>& psi) const {
+  // Only target and its neighbors change NodeP when target moves (§4.4.2).
+  std::vector<const ApScan*> affected;
+  for (const NeighborReport& nb : target.neighbors) {
+    if (psi.contains(nb.id)) continue;
+    if (const ApScan* s = find_scan(scans, nb.id)) affected.push_back(s);
+  }
+
+  Channel best = target.current;
+  double best_score = -std::numeric_limits<double>::infinity();
+  ChannelPlan working = plan;
+  for (const Channel& c : candidates_for(target)) {
+    working[target.id] = c;
+    double score = node_p_log(target, c, scans, working, psi);
+    for (const ApScan* nb : affected)
+      score +=
+          node_p_log(*nb, planned_channel(*nb, working), scans, working, psi);
+    // Deterministic tie-break preferring the incumbent channel (stability).
+    if (score > best_score + 1e-9 ||
+        (std::abs(score - best_score) <= 1e-9 && c == target.current)) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::set<ApId> hop_neighborhood(const std::vector<ApScan>& scans, ApId from,
+                                int hops) {
+  std::unordered_map<ApId, const ApScan*> by_id;
+  for (const auto& s : scans) by_id[s.id] = &s;
+
+  std::set<ApId> seen{from};
+  std::queue<std::pair<ApId, int>> frontier;
+  frontier.push({from, 0});
+  while (!frontier.empty()) {
+    const auto [id, depth] = frontier.front();
+    frontier.pop();
+    if (depth >= hops) continue;
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) continue;
+    for (const NeighborReport& nb : it->second->neighbors) {
+      if (seen.insert(nb.id).second) frontier.push({nb.id, depth + 1});
+    }
+  }
+  return seen;
+}
+
+ChannelPlan TurboCA::nbo(const std::vector<ApScan>& scans,
+                         const ChannelPlan& current, int hop_limit) {
+  // Algorithm 1. PCP starts from the *current* assignment so that
+  // planned_channel() resolves unassigned APs to their live channel; the
+  // explicit PCP-membership set tracks which APs have been (re)assigned.
+  ChannelPlan pcp = current;
+
+  std::vector<ApId> s_set;  // S <- V
+  for (const auto& s : scans) s_set.push_back(s.id);
+
+  std::unordered_map<ApId, const ApScan*> by_id;
+  for (const auto& s : scans) by_id[s.id] = &s;
+
+  while (!s_set.empty()) {
+    // line 4: random unassigned AP n.
+    const std::size_t pick = rng_.index(s_set.size());
+    const ApId n = s_set[pick];
+
+    // line 5: S_group = n + APs within i hops, still in S.
+    const std::set<ApId> hood = hop_neighborhood(scans, n, hop_limit);
+    std::vector<ApId> group;
+    for (ApId id : s_set)
+      if (hood.contains(id)) group.push_back(id);
+
+    // line 6: S -= S_group.
+    std::erase_if(s_set, [&](ApId id) { return hood.contains(id); });
+
+    // lines 7-11: drain the group, load-weighted (§4.4.3: heavily loaded
+    // APs pick earlier and get first choice of clean channels).
+    while (!group.empty()) {
+      std::size_t mi;
+      if (params_.load_weighted_pick) {
+        std::vector<double> weights;
+        weights.reserve(group.size());
+        for (ApId id : group) {
+          const ApScan* s = by_id.at(id);
+          weights.push_back(0.05 + s->total_load());
+        }
+        mi = rng_.weighted_index(weights);
+      } else {
+        mi = rng_.index(group.size());
+      }
+      const ApId m = group[mi];
+      group.erase(group.begin() + static_cast<std::ptrdiff_t>(mi));
+
+      const std::set<ApId> psi(group.begin(), group.end());
+      const ApScan* ms = by_id.at(m);
+      pcp[m] = acc(*ms, scans, pcp, psi);
+    }
+  }
+  return pcp;
+}
+
+TurboCA::RunResult TurboCA::run(const std::vector<ApScan>& scans,
+                                const ChannelPlan& current, int hop_limit) {
+  const int n = static_cast<int>(scans.size());
+  const int rounds = std::clamp(n / params_.runs_divisor, params_.runs_min,
+                                params_.runs_max);
+
+  RunResult result;
+  result.plan = current;
+  result.netp_log = net_p_log(scans, current);
+
+  for (int r = 0; r < rounds; ++r) {
+    // §4.4.4: whenever a run improves NetP, the proposal becomes the
+    // baseline for following rounds.
+    const ChannelPlan proposal = nbo(scans, result.plan, hop_limit);
+    const double netp = net_p_log(scans, proposal);
+    if (netp > result.netp_log + 1e-9) {
+      result.plan = proposal;
+      result.netp_log = netp;
+      result.improved = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace w11::turboca

@@ -1,0 +1,113 @@
+#pragma once
+// TurboCA: channel-bonding-aware automatic channel assignment (§4.4).
+//
+// Metrics (log-space to stay numerically sane at 600 APs):
+//
+//   NodeP(c, cw) = Π_{b=20MHz}^{cw} channel_metric(c, b)^load(b)
+//   channel_metric(c, b) = airtime(c, b) × capacity(c, b) − penalty_c
+//   NetP = Π_{v ∈ V} NodeP(v)
+//
+//   airtime(c,b)  — expected airtime share on the b-wide sub-channel of c:
+//                   the spectrum left over by external utilization, divided
+//                   among this AP and same-network neighbors whose (planned)
+//                   channel overlaps it.
+//   capacity(c,b) — channel quality (non-WiFi interference) × width scaling.
+//   penalty_c     — client disruption cost of switching to c; large on
+//                   2.4 GHz and under >90 % utilization (§4.5.1); a DFS
+//                   channel is excluded outright while clients are
+//                   associated (§4.5.2).
+//
+// Optimizer: ACC(v, ψ) maximizes NetP over v's candidate channels while
+// ignoring the APs in ψ; NBO (Algorithm 1) sweeps the network in random
+// groups bounded by hop limit i; the service layer (service.hpp) runs the
+// i = 0/1/2 cadence.
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "flowsim/scan.hpp"
+#include "phy/channel.hpp"
+
+namespace w11::turboca {
+
+struct Params {
+  // Penalty subtracted from channel_metric when c differs from the current
+  // assignment (client disruption on switch).
+  double switch_penalty = 0.08;
+  // §4.5.1: larger penalty on 2.4 GHz radios (poor client CSA support) and
+  // when current-channel utilization exceeds the threshold.
+  double switch_penalty_24ghz = 0.35;
+  double high_util_threshold = 0.90;
+  double switch_penalty_high_util = 0.30;
+  // Baseline load for client-less APs so they weakly prefer clean channels.
+  double empty_ap_load = 0.1;
+  // Neighbors weaker than this RSSI are not counted as contenders.
+  Dbm neighbor_rssi_floor = -85.0;
+  // NBO rounds per schedule run: clamp(n_aps / divisor, min, max).
+  int runs_divisor = 25;
+  int runs_min = 3;
+  int runs_max = 12;
+  // Algorithm 1 line 8: weight the group-drain pick by AP load so heavily
+  // loaded APs choose channels first (ablation D3 sets this false).
+  bool load_weighted_pick = true;
+};
+
+class TurboCA {
+ public:
+  TurboCA(Params params, Rng rng);
+
+  // log NodeP of AP `a` operating on channel `c`, with neighbor channels
+  // resolved from `plan` (falling back to their scan's current channel) and
+  // the APs in `ignore` excluded from contention counting (the ψ of ACC).
+  [[nodiscard]] double node_p_log(const ApScan& a, const Channel& c,
+                                  const std::vector<ApScan>& scans,
+                                  const ChannelPlan& plan,
+                                  const std::set<ApId>& ignore) const;
+
+  // log NetP of a complete plan.
+  [[nodiscard]] double net_p_log(const std::vector<ApScan>& scans,
+                                 const ChannelPlan& plan) const;
+
+  // ACC(v, ψ): best channel for `target` maximizing NetP over target and
+  // its neighbors, ignoring ψ (§4.4.2).
+  [[nodiscard]] Channel acc(const ApScan& target,
+                            const std::vector<ApScan>& scans,
+                            const ChannelPlan& plan,
+                            const std::set<ApId>& psi) const;
+
+  // NBO (Algorithm 1): one full sweep with hop limit `i`. `current` supplies
+  // channels for APs not yet assigned in the proposed plan.
+  [[nodiscard]] ChannelPlan nbo(const std::vector<ApScan>& scans,
+                                const ChannelPlan& current, int hop_limit);
+
+  // Multiple NBO rounds at the given hop limit; returns the best plan found
+  // if it beats `current`, else `current` (§4.4.4).
+  struct RunResult {
+    ChannelPlan plan;
+    double netp_log = 0.0;
+    bool improved = false;
+  };
+  [[nodiscard]] RunResult run(const std::vector<ApScan>& scans,
+                              const ChannelPlan& current, int hop_limit);
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  [[nodiscard]] double channel_metric(const ApScan& a, const Channel& c,
+                                      ChannelWidth b,
+                                      const std::vector<ApScan>& scans,
+                                      const ChannelPlan& plan,
+                                      const std::set<ApId>& ignore) const;
+  [[nodiscard]] std::vector<Channel> candidates_for(const ApScan& a) const;
+
+  Params params_;
+  mutable Rng rng_;
+};
+
+// Hop-limited neighborhood over the scan graph: ids within `hops` of `from`
+// (BFS on neighbor reports), including `from` itself.
+[[nodiscard]] std::set<ApId> hop_neighborhood(const std::vector<ApScan>& scans,
+                                              ApId from, int hops);
+
+}  // namespace w11::turboca

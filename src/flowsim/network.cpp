@@ -1,0 +1,456 @@
+#include "flowsim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "phy/mcs.hpp"
+
+namespace w11::flowsim {
+
+namespace {
+
+double dbm_to_mw(Dbm dbm) { return std::pow(10.0, dbm / 10.0); }
+double mw_to_dbm(double mw) { return 10.0 * std::log10(std::max(mw, 1e-12)); }
+
+// Fraction of channel `a` spectrum that channel `b` occupies.
+double overlap_fraction(const Channel& a, const Channel& b) {
+  if (a.band != b.band) return 0.0;
+  const double a_lo = a.center_mhz() - width_mhz(a.width) / 2.0;
+  const double a_hi = a.center_mhz() + width_mhz(a.width) / 2.0;
+  const double b_lo = b.center_mhz() - width_mhz(b.width) / 2.0;
+  const double b_hi = b.center_mhz() + width_mhz(b.width) / 2.0;
+  const double shared = std::min(a_hi, b_hi) - std::max(a_lo, b_lo);
+  return shared <= 0.0 ? 0.0 : shared / (a_hi - a_lo);
+}
+
+}  // namespace
+
+const ApMetrics& Evaluation::of(ApId id) const {
+  for (const auto& m : per_ap)
+    if (m.id == id) return m;
+  throw std::logic_error("Evaluation::of: unknown AP");
+}
+
+Network::Network(Config cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+ApId Network::add_ap(Position pos, ChannelWidth max_width, Channel initial,
+                     bool dfs_capable) {
+  W11_CHECK(initial.band == cfg_.band);
+  ApNode node;
+  node.id = ApId{static_cast<std::uint32_t>(aps_.size())};
+  node.pos = pos;
+  node.max_width = max_width;
+  node.channel = initial;
+  node.dfs_capable = dfs_capable;
+  aps_.push_back(std::move(node));
+  return aps_.back().id;
+}
+
+StationId Network::add_client(ApId ap, Position pos, ClientCapability cap,
+                              double offered_mbps) {
+  ClientNode cl;
+  cl.id = StationId{next_station_++};
+  cl.pos = pos;
+  cl.cap = cap;
+  cl.offered_mbps = offered_mbps;
+  cl.base_offered_mbps = offered_mbps;
+  ap_of_mut(ap).clients.push_back(std::move(cl));
+  return ap_of(ap).clients.back().id;
+}
+
+void Network::add_interferer(ExternalInterferer intf) {
+  W11_CHECK(intf.channel.band == cfg_.band);
+  interferers_.push_back(intf);
+}
+
+void Network::scale_offered_load(double factor) {
+  for (auto& ap : aps_) {
+    for (auto& cl : ap.clients) {
+      cl.offered_mbps *= factor;
+      cl.base_offered_mbps *= factor;
+    }
+  }
+}
+
+void Network::set_load_factor(double factor) {
+  for (auto& ap : aps_)
+    for (auto& cl : ap.clients) cl.offered_mbps = cl.base_offered_mbps * factor;
+}
+
+void Network::set_client_load(ApId ap, double per_client_mbps) {
+  for (auto& cl : ap_of_mut(ap).clients) {
+    cl.offered_mbps = per_client_mbps;
+    cl.base_offered_mbps = per_client_mbps;
+  }
+}
+
+void Network::mutate_interferers(Rng& rng) {
+  const auto catalog = channels::us_catalog(cfg_.band, ChannelWidth::MHz20);
+  for (auto& intf : interferers_) {
+    intf.channel = catalog[rng.index(catalog.size())];
+    intf.duty_cycle = rng.uniform(0.05, 0.7);
+  }
+}
+
+int Network::apply_plan(const ChannelPlan& plan) {
+  int switches = 0;
+  for (auto& ap : aps_) {
+    const auto it = plan.find(ap.id);
+    if (it == plan.end()) continue;
+    if (it->second != ap.channel) {
+      ap.channel = it->second;
+      ++switches;
+      // §4.3.1 disruption accounting for this AP's active clients.
+      for (const auto& cl : ap.clients) {
+        if (cl.offered_mbps <= cfg_.active_client_threshold_mbps) continue;
+        const bool follows_csa =
+            cl.cap.supports_csa && !rng_.bernoulli(csa_miss_rate);
+        if (follows_csa) continue;
+        // Detect + rescan + re-associate: ~5 s laptops, ~8 s mobiles; the
+        // 1-stream population skews mobile.
+        const double secs =
+            cl.cap.max_nss >= 2 ? rng_.uniform(4.0, 6.0) : rng_.uniform(7.0, 9.0);
+        disruption_client_seconds_ += secs;
+        ++clients_disrupted_;
+      }
+    }
+    // Maintain a non-DFS fallback whenever the AP sits on a DFS channel.
+    if (ap.channel.is_dfs()) {
+      const auto safe = channels::candidate_set(cfg_.band, ap.max_width,
+                                                /*allow_dfs=*/false);
+      if (!safe.empty()) ap.dfs_fallback = safe.front();
+    }
+  }
+  total_switches_ += switches;
+  return switches;
+}
+
+ChannelPlan Network::current_plan() const {
+  ChannelPlan plan;
+  for (const auto& ap : aps_) plan[ap.id] = ap.channel;
+  return plan;
+}
+
+void Network::radar_event(ApId id) {
+  ApNode& ap = ap_of_mut(id);
+  if (!ap.channel.is_dfs()) return;
+  const Channel fb = ap.dfs_fallback.value_or(
+      Channel{cfg_.band, 36, ChannelWidth::MHz20});
+  ap.channel = fb;
+  ++total_switches_;
+}
+
+const ApNode& Network::ap_of(ApId id) const {
+  W11_CHECK(id.value() < aps_.size());
+  return aps_[id.value()];
+}
+
+ApNode& Network::ap_of_mut(ApId id) {
+  W11_CHECK(id.value() < aps_.size());
+  return aps_[id.value()];
+}
+
+bool Network::in_cs_range(const ApNode& a, const ApNode& b) const {
+  return cfg_.prop.rssi(kApTxPowerDbm, a.pos, b.pos, cfg_.band) >
+         cfg_.cs_threshold;
+}
+
+double Network::external_duty_at(const ApNode& a, const Channel& on) const {
+  double duty = 0.0;
+  for (const auto& intf : interferers_) {
+    if (!intf.channel.overlaps(on)) continue;
+    if (cfg_.prop.rssi(intf.tx_power, intf.pos, a.pos, cfg_.band) <=
+        cfg_.cs_threshold)
+      continue;
+    duty += intf.duty_cycle * overlap_fraction(on, intf.channel);
+  }
+  return std::min(duty, 1.0);
+}
+
+double Network::client_phy_rate(const ApNode& ap, const ClientNode& cl,
+                                double interference_mw,
+                                int cochannel_contenders) const {
+  const ChannelWidth width = std::min(ap.channel.width, cl.cap.max_width);
+  const Dbm rssi = cfg_.prop.rssi(kApTxPowerDbm, ap.pos, cl.pos, cfg_.band);
+  const double noise_mw = dbm_to_mw(cfg_.prop.noise_floor(width));
+  const Db sinr = rssi - mw_to_dbm(noise_mw + interference_mw);
+  // Rate controllers back off under contention: collisions and retries on
+  // a crowded channel look like loss, so Minstrel-style adaptation settles
+  // on lower MCS (§4.6.2's "reduce medium contention ... use higher bit
+  // rates"). ~1 dB of effective margin per co-channel contender, capped.
+  const Db contention_backoff =
+      std::min(1.0 * std::max(cochannel_contenders, 0), 9.0);
+  const int nss = std::min(3, cl.cap.max_nss);  // 3x3 APs
+  const auto pick = mcs::select(sinr - 2.0 - contention_backoff, width, nss);
+  if (!pick) return 6.0;  // floor: lowest legacy rate
+  const int mcs_cap = cl.cap.to_mcs_capability().max_mcs;
+  McsIndex idx = *pick;
+  if (idx.mcs > mcs_cap) idx.mcs = mcs_cap;
+  return mcs::rate(idx, width, cl.cap.short_gi)
+      .value_or(RateMbps{6.0})
+      .mbps();
+}
+
+double Network::client_max_rate(const ApNode& ap, const ClientNode& cl) const {
+  // The efficiency denominator is the max rate "supported by both for a
+  // particular association" (§4.6.2): associations are established at the
+  // AP's *operating* width, so the metric is width-neutral and measures how
+  // close the link runs to its SINR-free ceiling — contention and
+  // interference are what drag it down.
+  ApCapability ap_cap;  // 3x3 wave-2
+  ap_cap.max_width = ap.channel.width;
+  return mcs::max_rate(ap_cap.to_mcs_capability(), cl.cap.to_mcs_capability())
+      .mbps();
+}
+
+Evaluation Network::evaluate() const {
+  const std::size_t n = aps_.size();
+  Evaluation ev;
+  ev.per_ap.resize(n);
+
+  // CS-coupled, channel-overlapping neighborhoods for the current plan.
+  std::vector<std::vector<std::size_t>> nbrs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (aps_[i].channel.overlaps(aps_[j].channel) &&
+          in_cs_range(aps_[i], aps_[j]))
+        nbrs[i].push_back(j);
+    }
+  }
+
+  std::vector<double> ext(n);
+  for (std::size_t i = 0; i < n; ++i)
+    ext[i] = external_duty_at(aps_[i], aps_[i].channel);
+
+  // Two passes: rates -> airtime -> interference-adjusted rates -> airtime.
+  std::vector<double> demand(n), share(n);
+  std::vector<std::vector<double>> client_rate(n);
+  std::vector<double> client_intf_mw(n, 0.0);  // per-AP mean interference
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const ApNode& ap = aps_[i];
+      client_rate[i].clear();
+      double d = 0.0;
+      for (const auto& cl : ap.clients) {
+        const double rate = client_phy_rate(
+            ap, cl, client_intf_mw[i], static_cast<int>(nbrs[i].size()));
+        client_rate[i].push_back(rate);
+        d += cl.offered_mbps / std::max(rate * cfg_.mac_efficiency, 1.0);
+      }
+      demand[i] = std::min(d + 0.003 /*beacons & mgmt*/, 4.0);
+      share[i] = std::min(demand[i], std::max(0.0, 1.0 - ext[i]));
+    }
+
+    // Damped water-filling on neighborhood constraints.
+    for (int it = 0; it < cfg_.solver_iterations; ++it) {
+      std::vector<double> pressure(n, 1.0);
+      for (std::size_t k = 0; k < n; ++k) {
+        double load = share[k] + ext[k];
+        for (std::size_t j : nbrs[k]) load += share[j];
+        if (load > 1.0) {
+          const double f = 1.0 / load;
+          pressure[k] = std::min(pressure[k], f);
+          for (std::size_t j : nbrs[k]) pressure[j] = std::min(pressure[j], f);
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        // Shrink under pressure, creep back toward demand otherwise.
+        share[i] = (pressure[i] < 1.0)
+                       ? share[i] * std::pow(pressure[i], 0.6)
+                       : std::min(demand[i], share[i] * 1.08 + 1e-4);
+      }
+    }
+
+    if (pass == 0) {
+      // Interference at clients from co-channel transmitters the serving AP
+      // cannot carrier-sense (concurrent transmissions).
+      for (std::size_t i = 0; i < n; ++i) {
+        double mw = 0.0;
+        if (aps_[i].clients.empty()) {
+          client_intf_mw[i] = 0.0;
+          continue;
+        }
+        // Use the AP's own position as a proxy for its clients' locations.
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          if (!aps_[i].channel.overlaps(aps_[j].channel)) continue;
+          if (in_cs_range(aps_[i], aps_[j])) continue;  // serialized by CSMA
+          const Dbm p =
+              cfg_.prop.rssi(kApTxPowerDbm, aps_[j].pos, aps_[i].pos, cfg_.band);
+          mw += dbm_to_mw(p) * share[j] *
+                overlap_fraction(aps_[i].channel, aps_[j].channel);
+        }
+        // External interferers beyond carrier-sense range still radiate
+        // into the cell and erode client SINR.
+        for (const auto& intf : interferers_) {
+          if (!intf.channel.overlaps(aps_[i].channel)) continue;
+          const Dbm p =
+              cfg_.prop.rssi(intf.tx_power, intf.pos, aps_[i].pos, cfg_.band);
+          if (p > cfg_.cs_threshold) continue;  // in range -> serialized
+          mw += dbm_to_mw(p) * intf.duty_cycle *
+                overlap_fraction(aps_[i].channel, intf.channel);
+        }
+        client_intf_mw[i] = mw;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const ApNode& ap = aps_[i];
+    ApMetrics& m = ev.per_ap[i];
+    m.id = ap.id;
+    m.demand_airtime = demand[i];
+    m.airtime_share = share[i];
+    double load = share[i] + ext[i];
+    for (std::size_t j : nbrs[i]) load += share[j];
+    m.utilization = std::min(load, 1.0);
+    m.cochannel_interferers = static_cast<int>(nbrs[i].size());
+
+    double offered = 0.0;
+    for (const auto& cl : ap.clients) offered += cl.offered_mbps;
+    m.offered_mbps = offered;
+    const double fulfil =
+        demand[i] > 1e-9 ? std::min(1.0, share[i] / demand[i]) : 1.0;
+    m.throughput_mbps = offered * fulfil;
+
+    double rate_sum = 0.0, eff_sum = 0.0;
+    for (std::size_t c = 0; c < ap.clients.size(); ++c) {
+      const double rate = client_rate[i][c];
+      rate_sum += rate;
+      const double max_rate = client_max_rate(ap, ap.clients[c]);
+      const double eff = max_rate > 0.0 ? std::min(1.0, rate / max_rate) : 0.0;
+      m.client_efficiency.push_back(eff);
+      eff_sum += eff;
+    }
+    if (!ap.clients.empty()) {
+      m.mean_phy_rate_mbps = rate_sum / static_cast<double>(ap.clients.size());
+      m.mean_bitrate_efficiency =
+          eff_sum / static_cast<double>(ap.clients.size());
+    }
+    ev.total_throughput_mbps += m.throughput_mbps;
+    ev.total_offered_mbps += offered;
+  }
+
+  // WAN uplink cap (UNet's limiting factor, §4.6.2).
+  if (cfg_.uplink_capacity.positive() &&
+      ev.total_throughput_mbps > cfg_.uplink_capacity.mbps()) {
+    const double f = cfg_.uplink_capacity.mbps() / ev.total_throughput_mbps;
+    for (auto& m : ev.per_ap) m.throughput_mbps *= f;
+    ev.total_throughput_mbps = cfg_.uplink_capacity.mbps();
+  }
+  return ev;
+}
+
+std::vector<ApScan> Network::scan() const {
+  const Evaluation ev = evaluate();
+  std::vector<ApScan> scans;
+  scans.reserve(aps_.size());
+  for (std::size_t i = 0; i < aps_.size(); ++i) {
+    const ApNode& ap = aps_[i];
+    ApScan s;
+    s.id = ap.id;
+    s.band = cfg_.band;
+    s.current = ap.channel;
+    s.max_width = ap.max_width;
+    // "Connected clients" for the DFS rule means *active* clients: an AP
+    // whose associated devices are idle (overnight) may take the CAC hit
+    // and move to a DFS channel.
+    s.has_clients = false;
+    for (const auto& cl : ap.clients)
+      if (cl.offered_mbps > cfg_.active_client_threshold_mbps)
+        s.has_clients = true;
+    s.dfs_capable = ap.dfs_capable;
+    s.utilization_current = ev.per_ap[i].utilization;
+
+    for (const auto& cl : ap.clients) {
+      const ChannelWidth b = std::min(cl.cap.max_width, ap.max_width);
+      s.load_by_width[b] += 1.0 + cl.offered_mbps / 5.0;
+    }
+
+    for (const auto& other : aps_) {
+      if (other.id == ap.id) continue;
+      if (!in_cs_range(ap, other)) continue;
+      s.neighbors.push_back(NeighborReport{
+          other.id, cfg_.prop.rssi(kApTxPowerDbm, other.pos, ap.pos, cfg_.band)});
+    }
+
+    for (const Channel& comp : channels::us_catalog(cfg_.band, ChannelWidth::MHz20)) {
+      double u = external_duty_at(ap, comp);
+      if (cfg_.scan_noise_sigma > 0.0 && u > 0.0) {
+        // Scanning-radio sampling error (150 ms dwells, §2.1).
+        u = std::clamp(u + rng_.normal(0.0, cfg_.scan_noise_sigma), 0.0, 1.0);
+      }
+      if (u > 0.0) s.external_util[comp.number] = u;
+      s.quality[comp.number] = std::clamp(1.0 - 0.6 * u, 0.05, 1.0);
+    }
+    scans.push_back(std::move(s));
+  }
+  return scans;
+}
+
+Samples Network::sample_tcp_latency(const Evaluation& ev, int samples_per_ap,
+                                    double slow_client_fraction) {
+  Samples out;
+  for (const auto& m : ev.per_ap) {
+    if (m.offered_mbps <= 0.0) continue;
+    // Medium-access queueing: a base wired/stack latency plus a term that
+    // explodes as the collision domain saturates, plus per-contender cost.
+    const double u = std::min(m.utilization, 0.97);
+    const double mean_ms =
+        3.0 + 14.0 * u / (1.0 - u) + 0.8 * m.cochannel_interferers;
+    const double sigma = 0.55;
+    const double mu = std::log(mean_ms) - sigma * sigma / 2.0;
+    for (int k = 0; k < samples_per_ap; ++k) {
+      if (rng_.bernoulli(slow_client_fraction)) {
+        out.add(rng_.uniform(400.0, 1200.0));  // unresponsive-client tail
+      } else {
+        // Queueing latency is bounded by finite AP queues; the paper
+        // attributes everything >=400 ms to unresponsive clients (Fig. 8),
+        // so the congestion component saturates below that.
+        out.add(std::min(rng_.lognormal(mu, sigma), 380.0));
+      }
+    }
+  }
+  return out;
+}
+
+Samples Network::sample_bitrate_efficiency(const Evaluation& ev) const {
+  Samples out;
+  for (const auto& m : ev.per_ap)
+    for (double eff : m.client_efficiency) out.add(eff);
+  return out;
+}
+
+Samples Network::sample_client_rssi() const {
+  Samples out;
+  for (const auto& ap : aps_)
+    for (const auto& cl : ap.clients)
+      out.add(cfg_.prop.rssi(kClientTxPowerDbm, cl.pos, ap.pos, cfg_.band));
+  return out;
+}
+
+Samples Network::sample_utilization(const Evaluation& ev) const {
+  Samples out;
+  for (const auto& m : ev.per_ap) out.add(m.utilization);
+  return out;
+}
+
+Samples Network::sample_cochannel_interferers() const {
+  Samples out;
+  for (std::size_t i = 0; i < aps_.size(); ++i) {
+    int count = 0;
+    for (std::size_t j = 0; j < aps_.size(); ++j) {
+      if (i == j) continue;
+      if (aps_[i].channel.overlaps(aps_[j].channel) &&
+          in_cs_range(aps_[i], aps_[j]))
+        ++count;
+    }
+    out.add(static_cast<double>(count));
+  }
+  return out;
+}
+
+}  // namespace w11::flowsim

@@ -1,0 +1,193 @@
+#pragma once
+// Flow-level model of a large multi-AP wireless network.
+//
+// Packet-level simulation of a 600-AP campus is not feasible (nor was it
+// for the authors — §4.7); what channel assignment actually changes is
+// (a) which APs contend with which, (b) the airtime share each AP obtains,
+// and (c) the SINR — hence PHY rate — each client sees. This module models
+// exactly those three effects:
+//
+//   * contention graph: APs within carrier-sense range on overlapping
+//     channels share airtime; external interferers consume duty cycle;
+//   * airtime shares solved by damped iterative water-filling over
+//     carrier-sense neighborhoods;
+//   * client SINR from the propagation model plus co-channel interference
+//     from out-of-CS-range transmitters, mapped through the VHT MCS table.
+//
+// Outcome metrics (usage, AP-side TCP latency, bit-rate efficiency, RSSI)
+// are derived from these results — *not* from TurboCA's NodeP — so channel
+// plans are evaluated by an independent model, avoiding circularity.
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "flowsim/scan.hpp"
+#include "phy/channel.hpp"
+#include "phy/propagation.hpp"
+#include "wlan/capability.hpp"
+
+namespace w11::flowsim {
+
+struct ExternalInterferer {
+  Position pos;
+  Channel channel;
+  double duty_cycle = 0.2;  // fraction of airtime it occupies
+  Dbm tx_power = 20.0;
+};
+
+struct ClientNode {
+  StationId id;
+  Position pos;
+  ClientCapability cap;
+  double offered_mbps = 1.0;       // current downlink demand
+  double base_offered_mbps = 1.0;  // demand at load factor 1.0
+};
+
+struct ApNode {
+  ApId id;
+  Position pos;
+  ChannelWidth max_width = ChannelWidth::MHz80;
+  Channel channel{Band::G5, 36, ChannelWidth::MHz20};
+  std::optional<Channel> dfs_fallback;  // §4.5.2
+  bool dfs_capable = true;
+  std::vector<ClientNode> clients;
+};
+
+struct ApMetrics {
+  ApId id;
+  double demand_airtime = 0.0;   // airtime fraction needed for offered load
+  double airtime_share = 0.0;    // airtime fraction obtained
+  double utilization = 0.0;      // medium busy fraction seen at this AP
+  double throughput_mbps = 0.0;  // achieved downlink goodput
+  double offered_mbps = 0.0;
+  double mean_phy_rate_mbps = 0.0;
+  double mean_bitrate_efficiency = 0.0;  // mean over clients (§4.6.2)
+  std::vector<double> client_efficiency; // per-client rate / max-rate
+  int cochannel_interferers = 0;         // same-channel APs in CS range
+};
+
+struct Evaluation {
+  std::vector<ApMetrics> per_ap;
+  double total_throughput_mbps = 0.0;
+  double total_offered_mbps = 0.0;
+  [[nodiscard]] const ApMetrics& of(ApId id) const;
+};
+
+class Network {
+ public:
+  struct Config {
+    Band band = Band::G5;
+    PropagationModel prop;
+    Dbm cs_threshold = -82.0;          // carrier-sense coupling threshold
+    RateMbps uplink_capacity{0.0};     // WAN uplink; 0 = unconstrained
+    double mac_efficiency = 0.75;      // CSMA overhead factor on PHY rates
+    int solver_iterations = 30;
+    // The dedicated scanning radio (§2.1) dwells 150 ms per channel, so its
+    // utilization estimates are samples, not truth; this sigma adds
+    // deterministic-seeded measurement noise to every scan() (0 = oracle).
+    double scan_noise_sigma = 0.0;
+    // A client demanding less than this is "idle" for the DFS rule —
+    // overnight lulls free APs to take the CAC hit and move to DFS
+    // channels (§4.5.2), which is where the wide-channel capacity lives.
+    double active_client_threshold_mbps = 0.5;
+    std::uint64_t seed = 1;
+  };
+
+  explicit Network(Config cfg);
+
+  // --- topology ----------------------------------------------------------
+  ApId add_ap(Position pos, ChannelWidth max_width, Channel initial,
+              bool dfs_capable = true);
+  StationId add_client(ApId ap, Position pos, ClientCapability cap,
+                       double offered_mbps);
+  void add_interferer(ExternalInterferer intf);
+  void scale_offered_load(double factor);  // compounding multiplier
+  // Non-compounding: offered = base * factor (diurnal profiles).
+  void set_load_factor(double factor);
+  void set_client_load(ApId ap, double per_client_mbps);
+  // RF churn: re-roll every external interferer's channel and duty cycle
+  // (neighbouring deployments change, microwaves come and go).
+  void mutate_interferers(Rng& rng);
+  [[nodiscard]] std::size_t interferer_count() const { return interferers_.size(); }
+
+  [[nodiscard]] const std::vector<ApNode>& aps() const { return aps_; }
+  [[nodiscard]] std::size_t ap_count() const { return aps_.size(); }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  // --- channel plans -----------------------------------------------------
+  // Returns the number of APs whose channel actually changed.
+  //
+  // Every switch disrupts that AP's *active* clients (§4.3.1): clients that
+  // honour the Channel Switch Announcement follow seamlessly; clients that
+  // don't support CSA — or miss the announcement beacons — must detect the
+  // loss, rescan and re-associate (~5 s laptops, ~8 s mobiles). The
+  // cumulative client-seconds of disruption are tracked so stability can be
+  // weighed against plan quality.
+  int apply_plan(const ChannelPlan& plan);
+  [[nodiscard]] ChannelPlan current_plan() const;
+  [[nodiscard]] int total_switches() const { return total_switches_; }
+  [[nodiscard]] double disruption_client_seconds() const {
+    return disruption_client_seconds_;
+  }
+  [[nodiscard]] std::uint64_t clients_disrupted() const {
+    return clients_disrupted_;
+  }
+  // Fraction of CSA announcements missed even by CSA-capable clients
+  // (§4.3.1: "beacons might be missed even by clients that do support CSAs").
+  double csa_miss_rate = 0.10;
+
+  // Radar event on a DFS channel: the AP must vacate to its fallback.
+  void radar_event(ApId ap);
+
+  // --- measurement -------------------------------------------------------
+  // Scan snapshots for the channel-assignment service.
+  [[nodiscard]] std::vector<ApScan> scan() const;
+
+  // Solve airtime shares for the current plan and report per-AP outcomes.
+  [[nodiscard]] Evaluation evaluate() const;
+
+  // Sample distributions derived from an evaluation (outcome metrics).
+  // TCP latency in ms: medium-access queueing driven by utilization and
+  // contender count; `slow_client_fraction` injects the ≥400 ms tail the
+  // paper attributes to unresponsive clients (Fig. 8).
+  [[nodiscard]] Samples sample_tcp_latency(const Evaluation& ev,
+                                           int samples_per_ap,
+                                           double slow_client_fraction = 0.02);
+  [[nodiscard]] Samples sample_bitrate_efficiency(const Evaluation& ev) const;
+  [[nodiscard]] Samples sample_client_rssi() const;
+  // Utilization seen by each AP (Fig. 2-style CDF input).
+  [[nodiscard]] Samples sample_utilization(const Evaluation& ev) const;
+  // Same-channel interferer count per AP (Fig. 3).
+  [[nodiscard]] Samples sample_cochannel_interferers() const;
+
+ private:
+  struct Interference {
+    double noise_mw_extra = 0.0;  // co-channel interference power at client
+  };
+
+  [[nodiscard]] const ApNode& ap_of(ApId id) const;
+  [[nodiscard]] ApNode& ap_of_mut(ApId id);
+  [[nodiscard]] bool in_cs_range(const ApNode& a, const ApNode& b) const;
+  [[nodiscard]] double external_duty_at(const ApNode& a,
+                                        const Channel& on) const;
+  [[nodiscard]] double client_phy_rate(const ApNode& ap, const ClientNode& cl,
+                                       double interference_mw,
+                                       int cochannel_contenders) const;
+  [[nodiscard]] double client_max_rate(const ApNode& ap,
+                                       const ClientNode& cl) const;
+
+  Config cfg_;
+  mutable Rng rng_;
+  std::vector<ApNode> aps_;
+  std::vector<ExternalInterferer> interferers_;
+  int total_switches_ = 0;
+  double disruption_client_seconds_ = 0.0;
+  std::uint64_t clients_disrupted_ = 0;
+  std::uint32_t next_station_ = 0;
+};
+
+}  // namespace w11::flowsim

@@ -1,0 +1,63 @@
+#pragma once
+// Scan snapshot: what the Meraki back-end collects from each AP (§4.4).
+//
+// This is the input format for channel-assignment algorithms (TurboCA,
+// ReservedCA). flowsim::Network produces it from its topology; tests can
+// construct it by hand. The fields mirror the paper: neighbor reports from
+// the dedicated scanning radio, per-channel utilization from non-network
+// sources, client load bucketed by supported channel width, and channel
+// quality (non-WiFi interference).
+
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "phy/channel.hpp"
+
+namespace w11 {
+
+struct NeighborReport {
+  ApId id;
+  Dbm rssi = -100.0;
+};
+
+struct ApScan {
+  ApId id;
+  Band band = Band::G5;
+  Channel current{Band::G5, 36, ChannelWidth::MHz20};
+  ChannelWidth max_width = ChannelWidth::MHz80;
+  bool has_clients = false;
+  bool dfs_capable = true;
+
+  // load(b) of the NodeP formula: weight per channel-width class, driven by
+  // the number of associated clients whose maximum width is b and their
+  // usage (§4.4.1).
+  std::map<ChannelWidth, double> load_by_width;
+
+  // Same-network APs within carrier-sense range (any channel — the
+  // scanning radio dwells on every channel).
+  std::vector<NeighborReport> neighbors;
+
+  // Utilization from non-network sources per 20 MHz component channel
+  // number (external APs, non-WiFi interferers).
+  std::map<int, double> external_util;
+
+  // Channel quality per 20 MHz component in (0, 1]; 1 = clean.
+  std::map<int, double> quality;
+
+  // Measured utilization on the current channel (drives the §4.5.1
+  // high-utilization switch-penalty rule).
+  double utilization_current = 0.0;
+
+  [[nodiscard]] double total_load() const {
+    double sum = 0.0;
+    for (const auto& [w, l] : load_by_width) sum += l;
+    return sum;
+  }
+};
+
+// A channel plan: assignment for every AP in the network.
+using ChannelPlan = std::map<ApId, Channel>;
+
+}  // namespace w11

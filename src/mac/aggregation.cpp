@@ -1,0 +1,34 @@
+#include "mac/aggregation.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace w11::mac {
+
+Time ampdu_airtime(int n_mpdus, Bytes mpdu_payload, RateMbps phy_rate) {
+  W11_CHECK(n_mpdus >= 1);
+  const Bytes total = (mpdu_payload + kPerMpduOverhead) * n_mpdus;
+  return kVhtPreamble + transmit_time(total, phy_rate);
+}
+
+int max_aggregate_size(int queued, Bytes mpdu_payload, RateMbps phy_rate,
+                       const AmpduLimits& limits) {
+  if (queued <= 0) return 0;
+  int n = std::min(queued, limits.max_mpdus);
+  while (n > 1 && ampdu_airtime(n, mpdu_payload, phy_rate) > limits.max_airtime) --n;
+  return n;
+}
+
+Time txop_duration(int n_mpdus, Bytes mpdu_payload, RateMbps phy_rate,
+                   bool rts_protected) {
+  Time t = ampdu_airtime(n_mpdus, mpdu_payload, phy_rate) + kSifs +
+           control_frame_airtime(kBlockAckBytes);
+  if (rts_protected) {
+    t += control_frame_airtime(kRtsBytes) + kSifs +
+         control_frame_airtime(kCtsBytes) + kSifs;
+  }
+  return t;
+}
+
+}  // namespace w11::mac

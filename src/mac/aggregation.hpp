@@ -1,0 +1,44 @@
+#pragma once
+// A-MPDU aggregation policy and airtime accounting (§5.1).
+//
+// 802.11ac allows up to 64 MPDUs per A-MPDU and up to 5.3 ms of airtime per
+// transmission (wave-2). Aggregation is the primary lever for amortizing
+// CSMA/CA overhead; FastACK exists to keep AP queues deep enough that these
+// limits, not queue starvation, bound the aggregate size.
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "mac/timing.hpp"
+
+namespace w11::mac {
+
+// Hard limits from the standard / wave-2 hardware.
+inline constexpr int kMaxAmpduMpdus = 64;
+inline constexpr Time kMaxAmpduAirtime = time::micros(5300);
+
+// Fixed per-MPDU framing overhead inside an A-MPDU: MPDU delimiter (4 B) +
+// MAC header & FCS (~34 B) + padding.
+inline constexpr Bytes kPerMpduOverhead{40};
+
+struct AmpduLimits {
+  int max_mpdus = kMaxAmpduMpdus;
+  Time max_airtime = kMaxAmpduAirtime;
+};
+
+// Airtime of an A-MPDU of `n_mpdus` frames each carrying `mpdu_payload`
+// bytes, sent at `phy_rate` — preamble plus serialized payload + overhead.
+[[nodiscard]] Time ampdu_airtime(int n_mpdus, Bytes mpdu_payload, RateMbps phy_rate);
+
+// Largest MPDU count (≥1, ≤ limits.max_mpdus, ≤ queued) whose A-MPDU
+// airtime fits within limits.max_airtime at `phy_rate`.
+[[nodiscard]] int max_aggregate_size(int queued, Bytes mpdu_payload, RateMbps phy_rate,
+                                     const AmpduLimits& limits = {});
+
+// Full TXOP duration for a data exchange: [RTS + SIFS + CTS + SIFS, if
+// protected] + A-MPDU + SIFS + BlockAck.
+[[nodiscard]] Time txop_duration(int n_mpdus, Bytes mpdu_payload, RateMbps phy_rate,
+                                 bool rts_protected);
+
+}  // namespace w11::mac

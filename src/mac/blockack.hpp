@@ -1,0 +1,56 @@
+#pragma once
+// BlockAck bitmap: per-MPDU delivery status for one A-MPDU exchange.
+//
+// 802.11 acknowledges each MPDU in an aggregate individually; the receiver
+// reports a bitmap over MPDU sequence numbers. FastACK consumes exactly this
+// information — an MPDU-granular 802.11 ACK — so the type lives here where
+// both the MAC simulation and the FastACK agent can use it.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace w11::mac {
+
+class BlockAckBitmap {
+ public:
+  BlockAckBitmap() = default;
+  explicit BlockAckBitmap(std::uint64_t start_seq) : start_(start_seq) {}
+
+  void record(std::uint64_t seq, bool delivered) {
+    W11_CHECK_MSG(seq >= start_, "sequence before bitmap window");
+    const std::size_t off = static_cast<std::size_t>(seq - start_);
+    if (off >= bits_.size()) bits_.resize(off + 1, false);
+    bits_[off] = delivered;
+  }
+
+  [[nodiscard]] bool delivered(std::uint64_t seq) const {
+    if (seq < start_) return false;
+    const std::size_t off = static_cast<std::size_t>(seq - start_);
+    return off < bits_.size() && bits_[off];
+  }
+
+  [[nodiscard]] std::uint64_t start_seq() const { return start_; }
+  [[nodiscard]] std::size_t window_size() const { return bits_.size(); }
+
+  [[nodiscard]] int delivered_count() const {
+    int n = 0;
+    for (bool b : bits_) n += b ? 1 : 0;
+    return n;
+  }
+
+  // Sequences marked delivered, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> delivered_seqs() const {
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+      if (bits_[i]) out.push_back(start_ + i);
+    return out;
+  }
+
+ private:
+  std::uint64_t start_ = 0;
+  std::vector<bool> bits_;
+};
+
+}  // namespace w11::mac

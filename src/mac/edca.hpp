@@ -1,0 +1,62 @@
+#pragma once
+// 802.11e EDCA access categories and their contention parameters (§3.2.4).
+//
+// From least to most aggressive: Background (BK), Best Effort (BE),
+// Video (VI), Voice (VO). More aggressive ACs use a shorter AIFS and a
+// smaller contention window, gaining faster and longer access to the medium
+// while exhausting retries sooner.
+
+#include <array>
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace w11 {
+
+enum class AccessCategory : std::uint8_t { BK = 0, BE = 1, VI = 2, VO = 3 };
+
+inline constexpr std::array<AccessCategory, 4> kAllAccessCategories = {
+    AccessCategory::BK, AccessCategory::BE, AccessCategory::VI,
+    AccessCategory::VO};
+
+[[nodiscard]] constexpr const char* to_string(AccessCategory ac) {
+  switch (ac) {
+    case AccessCategory::BK: return "BK";
+    case AccessCategory::BE: return "BE";
+    case AccessCategory::VI: return "VI";
+    case AccessCategory::VO: return "VO";
+  }
+  return "?";
+}
+
+struct EdcaParams {
+  int aifsn;        // slots added to SIFS before contention
+  int cw_min;       // initial contention window (slots)
+  int cw_max;       // CW ceiling after exponential backoff
+  int retry_limit;  // MPDU retransmission attempts before drop
+};
+
+// Default EDCA parameter set (802.11-2016 Table 9-137, aCWmin=15, aCWmax=1023).
+[[nodiscard]] constexpr EdcaParams edca_params(AccessCategory ac) {
+  switch (ac) {
+    case AccessCategory::BK: return {7, 15, 1023, 7};
+    case AccessCategory::BE: return {3, 15, 1023, 7};
+    case AccessCategory::VI: return {2, 7, 15, 4};
+    case AccessCategory::VO: return {2, 3, 7, 4};
+  }
+  return {3, 15, 1023, 7};
+}
+
+// Map a DSCP value (IP header) to an access category, mirroring the common
+// WMM mapping the paper relies on for QoS marking (§3.2.4).
+[[nodiscard]] constexpr AccessCategory dscp_to_ac(int dscp) {
+  const int cls = dscp >> 3;  // class selector bits
+  switch (cls) {
+    case 1: case 2: return AccessCategory::BK;   // CS1..CS2
+    case 3: case 4: return AccessCategory::VI;   // CS3..CS4
+    case 5: case 6: case 7: return AccessCategory::VO;  // CS5..CS7
+    default: return AccessCategory::BE;          // CS0 / unmarked
+  }
+}
+
+}  // namespace w11

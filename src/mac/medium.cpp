@@ -1,0 +1,135 @@
+#include "mac/medium.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace w11::mac {
+
+Medium::Medium(Simulator& sim, MediumConfig cfg, Rng rng)
+    : sim_(sim), cfg_(cfg), rng_(std::move(rng)) {}
+
+Medium::Slot* Medium::find(Contender* c) {
+  for (auto& s : slots_)
+    if (s.contender == c) return &s;
+  return nullptr;
+}
+
+void Medium::attach(Contender* c) {
+  W11_CHECK(c != nullptr);
+  W11_CHECK_MSG(find(c) == nullptr, "contender already attached");
+  Slot s;
+  s.contender = c;
+  s.cw = edca_params(c->access_category()).cw_min;
+  slots_.push_back(s);
+}
+
+void Medium::detach(Contender* c) {
+  std::erase_if(slots_, [c](const Slot& s) { return s.contender == c; });
+}
+
+void Medium::set_backlogged(Contender* c, bool backlogged) {
+  Slot* s = find(c);
+  W11_CHECK_MSG(s != nullptr, "contender not attached");
+  s->backlogged = backlogged;
+  if (backlogged) maybe_start_round();
+}
+
+void Medium::maybe_start_round() {
+  if (busy_ || round_pending_) return;
+  resolve_round();
+}
+
+void Medium::resolve_round() {
+  // Draw deferrals for all backlogged contenders at the instant the medium
+  // went idle; the earliest draw(s) win.
+  Time best = time::kForever;
+  std::vector<std::size_t> winners;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (!s.backlogged) continue;
+    const AccessCategory ac = s.contender->access_category();
+    const Time deferral =
+        aifs(ac) + kSlot * rng_.uniform_int(0, s.cw);
+    if (deferral < best) {
+      best = deferral;
+      winners.assign(1, i);
+    } else if (deferral == best) {
+      winners.push_back(i);
+    }
+  }
+  if (winners.empty()) return;
+  round_pending_ = true;
+  sim_.schedule_after(best, [this, winners] {
+    round_pending_ = false;
+    grant(winners);
+  });
+}
+
+void Medium::grant(const std::vector<std::size_t>& winner_idx) {
+  // Re-validate: a contender may have drained or detached since the draw.
+  std::vector<Slot*> winners;
+  for (std::size_t i : winner_idx)
+    if (i < slots_.size() && slots_[i].backlogged) winners.push_back(&slots_[i]);
+  if (winners.empty()) {
+    maybe_start_round();
+    return;
+  }
+
+  const bool collided = winners.size() > 1;
+  Time duration{};
+  for (Slot* s : winners) {
+    const TxDescriptor td = s->contender->begin_txop();
+    W11_CHECK(td.duration > Time{0});
+    duration = std::max(duration, td.duration);
+  }
+
+  if (collided) {
+    ++collisions_;
+    // With RTS/CTS only the (unanswered) RTS burns airtime; without it the
+    // longest colliding frame does.
+    if (cfg_.rts_cts)
+      duration = control_frame_airtime(kRtsBytes) + kSifs;
+    for (Slot* s : winners) {
+      const EdcaParams p = edca_params(s->contender->access_category());
+      s->cw = std::min(2 * s->cw + 1, p.cw_max);
+    }
+  } else {
+    ++txops_;
+    Slot* w = winners.front();
+    w->cw = edca_params(w->contender->access_category()).cw_min;
+  }
+
+  busy_ = true;
+  total_busy_ += duration;
+  for (Slot* s : winners) s->airtime += duration;
+
+  // Capture contender pointers (slots_ may reallocate if attach() runs
+  // mid-simulation; contender objects themselves are stable).
+  std::vector<Contender*> done;
+  done.reserve(winners.size());
+  for (Slot* s : winners) done.push_back(s->contender);
+
+  sim_.schedule_after(duration + cfg_.slack, [this, done, collided] {
+    busy_ = false;
+    for (Contender* c : done)
+      if (find(c) != nullptr) c->end_txop(collided);
+    maybe_start_round();
+  });
+}
+
+Time Medium::airtime_of(const Contender* c) const {
+  for (const auto& s : slots_)
+    if (s.contender == c) return s.airtime;
+  return Time{};
+}
+
+double Medium::utilization(Time since, Time busy_at_since) const {
+  const Time window = sim_.now() - since;
+  if (window <= Time{0}) return 0.0;
+  const Time busy = total_busy_ - busy_at_since;
+  return std::clamp(static_cast<double>(busy.ns()) / static_cast<double>(window.ns()),
+                    0.0, 1.0);
+}
+
+}  // namespace w11::mac

@@ -1,0 +1,37 @@
+#pragma once
+// 802.11 MAC/PHY timing constants (OFDM PHY, 5 GHz values).
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "mac/edca.hpp"
+
+namespace w11::mac {
+
+// Short interframe space; 16 µs for OFDM PHYs at 5 GHz (§5.2, fn. 8).
+inline constexpr Time kSifs = time::micros(16);
+// Slot time for OFDM PHYs.
+inline constexpr Time kSlot = time::micros(9);
+// VHT PHY preamble + header (L-STF/L-LTF/L-SIG + VHT-SIG/STF/LTFs), ~44 µs
+// for a representative 2–3 stream transmission.
+inline constexpr Time kVhtPreamble = time::micros(44);
+// Legacy (non-HT) preamble used by control responses.
+inline constexpr Time kLegacyPreamble = time::micros(20);
+// Control frames (RTS/CTS/BlockAck) go out at a legacy basic rate.
+inline constexpr RateMbps kBasicRate{24.0};
+
+// Control frame sizes (bytes, MAC layer).
+inline constexpr Bytes kRtsBytes{20};
+inline constexpr Bytes kCtsBytes{14};
+inline constexpr Bytes kBlockAckBytes{32};
+
+// AIFS for an access category: SIFS + AIFSN × slot.
+[[nodiscard]] constexpr Time aifs(AccessCategory ac) {
+  return kSifs + edca_params(ac).aifsn * kSlot;
+}
+
+// Airtime of a control frame at the basic rate (legacy preamble included).
+[[nodiscard]] constexpr Time control_frame_airtime(Bytes size) {
+  return kLegacyPreamble + transmit_time(size, kBasicRate);
+}
+
+}  // namespace w11::mac

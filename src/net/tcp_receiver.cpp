@@ -1,0 +1,110 @@
+#include "net/tcp_receiver.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace w11 {
+
+TcpReceiver::TcpReceiver(Simulator& sim, FlowId flow, Config cfg, AckFn send_ack)
+    : sim_(sim), flow_(flow), cfg_(cfg), send_ack_(std::move(send_ack)) {
+  W11_CHECK(send_ack_ != nullptr);
+  W11_CHECK(cfg_.buffer > Bytes{0});
+}
+
+std::uint64_t TcpReceiver::advertised_window() const {
+  std::uint64_t held = 0;
+  for (const auto& [start, end] : ooo_) held += end - start;
+  const auto buf = static_cast<std::uint64_t>(cfg_.buffer.count());
+  return held >= buf ? 0 : buf - held;
+}
+
+void TcpReceiver::on_data(const TcpSegment& seg) {
+  if (!seg.has_payload()) return;
+  ++stats_.segments_received;
+
+  const std::uint64_t end = seg.seq_end();
+  if (end <= rcv_nxt_) {
+    // Entirely old data — a retransmission we already have. Re-ACK so the
+    // sender can make progress.
+    ++stats_.duplicate_segments;
+    emit_ack(/*duplicate=*/true);
+    return;
+  }
+
+  if (seg.seq > rcv_nxt_) {
+    // Out of order: hole ahead of us. Buffer if it fits in the window.
+    const auto buf = static_cast<std::uint64_t>(cfg_.buffer.count());
+    if (end > rcv_nxt_ + buf) {
+      // Sender overran our advertised window; drop (§5.5.2's failure mode).
+      ++stats_.window_overflow_drops;
+      return;
+    }
+    // Merge [seg.seq, end) into the out-of-order map.
+    auto it = ooo_.lower_bound(seg.seq);
+    if (it != ooo_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= seg.seq) it = prev;
+    }
+    std::uint64_t new_start = seg.seq;
+    std::uint64_t new_end = end;
+    while (it != ooo_.end() && it->first <= new_end) {
+      new_start = std::min(new_start, it->first);
+      new_end = std::max(new_end, it->second);
+      it = ooo_.erase(it);
+    }
+    ooo_[new_start] = new_end;
+    // Out-of-order arrival triggers an immediate duplicate ACK (with SACK).
+    emit_ack(/*duplicate=*/true);
+    return;
+  }
+
+  // In-order (possibly overlapping) data: advance rcv_nxt.
+  rcv_nxt_ = end;
+  // Absorb any now-contiguous buffered ranges.
+  for (auto it = ooo_.begin(); it != ooo_.end() && it->first <= rcv_nxt_;) {
+    rcv_nxt_ = std::max(rcv_nxt_, it->second);
+    it = ooo_.erase(it);
+  }
+
+  if (!ooo_.empty()) {
+    // Still holes above us — keep the sender informed immediately.
+    emit_ack(/*duplicate=*/false);
+    return;
+  }
+
+  if (++unacked_segments_ >= cfg_.ack_every) {
+    emit_ack(/*duplicate=*/false);
+  } else {
+    schedule_delayed_ack();
+  }
+}
+
+void TcpReceiver::emit_ack(bool duplicate) {
+  unacked_segments_ = 0;
+  delack_timer_.cancel();
+  TcpSegment ack;
+  ack.flow = flow_;
+  ack.is_ack = true;
+  ack.ack = rcv_nxt_;
+  ack.rwnd = advertised_window();
+  ack.sent_at = sim_.now();
+  if (cfg_.sack_enabled) {
+    for (const auto& [start, seg_end] : ooo_) {
+      ack.sacks.push_back({start, seg_end});
+      if (ack.sacks.size() == 3) break;  // SACK option space limit
+    }
+  }
+  ++stats_.acks_sent;
+  if (duplicate) ++stats_.dup_acks_sent;
+  send_ack_(std::move(ack));
+}
+
+void TcpReceiver::schedule_delayed_ack() {
+  if (delack_timer_.pending()) return;
+  delack_timer_ = sim_.schedule_after(cfg_.delayed_ack, [this] {
+    if (unacked_segments_ > 0) emit_ack(/*duplicate=*/false);
+  });
+}
+
+}  // namespace w11

@@ -1,0 +1,61 @@
+#pragma once
+// TCP segment model.
+//
+// Segments carry the header fields the reproduction needs: byte sequence /
+// acknowledgment numbers, payload length, advertised receive window, SACK
+// blocks and a DSCP mark (mapped to an 802.11e access category at the AP).
+// Sequence numbers are absolute 64-bit byte offsets — wrap-around handling
+// is orthogonal to everything the paper studies and is deliberately
+// excluded from the model.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace w11 {
+
+struct SackBlock {
+  std::uint64_t start = 0;  // first sacked byte
+  std::uint64_t end = 0;    // one past last sacked byte
+  friend constexpr auto operator<=>(const SackBlock&, const SackBlock&) = default;
+};
+
+struct TcpSegment {
+  FlowId flow;                 // stands in for the 5-tuple
+  StationId dst_station;       // wireless destination for downlink routing
+
+  std::uint64_t seq = 0;       // first payload byte (data segments)
+  std::uint64_t ack = 0;       // cumulative ack: next byte expected
+  std::uint32_t payload = 0;   // payload bytes (0 for pure ACKs)
+  std::uint64_t rwnd = 0;      // advertised receive window (bytes)
+  bool is_ack = false;         // carries acknowledgment information
+  bool udp = false;            // connection-less traffic (Fig. 15 upper bound)
+  int dscp = 0;                // IP DSCP mark
+
+  std::vector<SackBlock> sacks;
+
+  // Measurement metadata (not protocol state): segment creation time and
+  // the time the AP accepted it from the wire, for latency accounting.
+  Time sent_at{};
+  Time ap_rx_at{};
+
+  [[nodiscard]] std::uint64_t seq_end() const { return seq + payload; }
+  [[nodiscard]] bool has_payload() const { return payload > 0; }
+
+  // On-the-wire size: payload plus IP+TCP headers (40 B, +12 B when options
+  // such as SACK ride along).
+  [[nodiscard]] Bytes wire_size() const {
+    const std::int64_t hdr = sacks.empty() ? 40 : 52;
+    return Bytes{hdr + payload};
+  }
+};
+
+// Helper: cumulative-ACK comparison — does `ack_no` acknowledge `seq_end`?
+[[nodiscard]] constexpr bool acks_through(std::uint64_t ack_no, std::uint64_t seq_end) {
+  return ack_no >= seq_end;
+}
+
+}  // namespace w11

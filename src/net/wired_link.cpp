@@ -1,0 +1,33 @@
+#include "net/wired_link.hpp"
+
+namespace w11 {
+
+void WiredLink::send(TcpSegment seg) {
+  if (cfg_.queue_packets != 0 && queue_.size() >= cfg_.queue_packets) {
+    ++dropped_;
+    return;
+  }
+  queue_.push_back(std::move(seg));
+  if (!transmitting_) start_transmit();
+}
+
+void WiredLink::start_transmit() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  TcpSegment seg = std::move(queue_.front());
+  queue_.pop_front();
+  const Time serialize = transmit_time(seg.wire_size(), cfg_.rate);
+  // Delivery happens after serialization + propagation; the next packet can
+  // begin serializing as soon as this one leaves the NIC.
+  sim_.schedule_after(serialize + cfg_.propagation,
+                      [this, s = std::move(seg)]() mutable {
+                        ++delivered_;
+                        deliver_(std::move(s));
+                      });
+  sim_.schedule_after(serialize, [this] { start_transmit(); });
+}
+
+}  // namespace w11

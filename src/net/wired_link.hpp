@@ -1,0 +1,54 @@
+#pragma once
+// Point-to-point wired link with a finite FIFO queue.
+//
+// Models the path between the TCP sender and the AP (switch + Ethernet).
+// A finite queue lets benches reproduce "TCP holes": drops upstream of the
+// AP that FastACK must paper over (§5.5.3).
+
+#include <deque>
+#include <functional>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "net/tcp_segment.hpp"
+#include "sim/simulator.hpp"
+
+namespace w11 {
+
+class WiredLink {
+ public:
+  using DeliverFn = std::function<void(TcpSegment)>;
+
+  struct Config {
+    RateMbps rate{1000.0};           // 1 GbE by default
+    Time propagation = time::micros(100);
+    std::size_t queue_packets = 2048; // FIFO capacity; 0 = unlimited
+  };
+
+  WiredLink(Simulator& sim, Config cfg, DeliverFn deliver)
+      : sim_(sim), cfg_(cfg), deliver_(std::move(deliver)) {
+    W11_CHECK(deliver_ != nullptr);
+  }
+  WiredLink(const WiredLink&) = delete;
+  WiredLink& operator=(const WiredLink&) = delete;
+
+  // Enqueue a segment; silently dropped if the queue is full (IP semantics).
+  void send(TcpSegment seg);
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+
+ private:
+  void start_transmit();
+
+  Simulator& sim_;
+  Config cfg_;
+  DeliverFn deliver_;
+  std::deque<TcpSegment> queue_;
+  bool transmitting_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace w11

@@ -1,0 +1,138 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace w11 {
+
+const char* to_string(Band b) {
+  return b == Band::G2_4 ? "2.4GHz" : "5GHz";
+}
+
+const char* to_string(ChannelWidth w) {
+  switch (w) {
+    case ChannelWidth::MHz20: return "20MHz";
+    case ChannelWidth::MHz40: return "40MHz";
+    case ChannelWidth::MHz80: return "80MHz";
+    case ChannelWidth::MHz160: return "160MHz";
+  }
+  return "?";
+}
+
+std::vector<ChannelWidth> widths_up_to(ChannelWidth max) {
+  std::vector<ChannelWidth> out;
+  for (auto w : {ChannelWidth::MHz20, ChannelWidth::MHz40, ChannelWidth::MHz80,
+                 ChannelWidth::MHz160}) {
+    out.push_back(w);
+    if (w == max) break;
+  }
+  return out;
+}
+
+double Channel::center_mhz() const {
+  if (band == Band::G2_4) {
+    // 2.4 GHz: channel n centre = 2407 + 5n (n = 1..13); ch 14 not used here.
+    return 2407.0 + 5.0 * number;
+  }
+  // 5 GHz: channel n centre = 5000 + 5n.
+  return 5000.0 + 5.0 * number;
+}
+
+std::vector<int> Channel::components() const {
+  if (band == Band::G2_4 || width == ChannelWidth::MHz20) return {number};
+  // Bonded 5 GHz channel: 20 MHz components sit at centre ± odd multiples
+  // of 2 channel units (10 MHz), i.e. 40 MHz -> {c-2, c+2},
+  // 80 MHz -> {c-6, c-2, c+2, c+6}, 160 MHz -> {c-14 ... c+14 step 4}.
+  const int half_span = width_mhz(width) / 10;  // in channel units (5 MHz)
+  std::vector<int> out;
+  for (int off = -half_span + 2; off <= half_span - 2; off += 4)
+    out.push_back(number + off);
+  return out;
+}
+
+bool Channel::overlaps(const Channel& other) const {
+  if (band != other.band) return false;
+  const double half_a = width_mhz(width) / 2.0;
+  const double half_b = width_mhz(other.width) / 2.0;
+  const double gap = std::abs(center_mhz() - other.center_mhz());
+  return gap < half_a + half_b;
+}
+
+bool Channel::is_dfs() const {
+  if (band == Band::G2_4) return false;
+  for (int c : components())
+    if (channels::is_dfs_20mhz(c)) return true;
+  return false;
+}
+
+Channel Channel::primary20() const {
+  return Channel{band, components().front(), ChannelWidth::MHz20};
+}
+
+std::string Channel::to_string() const {
+  std::string s = w11::to_string(band);
+  s += " ch";
+  s += std::to_string(number);
+  s += "/";
+  s += w11::to_string(width);
+  return s;
+}
+
+namespace channels {
+
+bool is_dfs_20mhz(int number) {
+  return (number >= 52 && number <= 64) || (number >= 100 && number <= 144);
+}
+
+namespace {
+
+// US 5 GHz 20 MHz channels (UNII-1, UNII-2, UNII-2e, UNII-3): 25 channels.
+constexpr int k5g20[] = {36, 40, 44, 48, 52, 56, 60, 64, 100, 104, 108, 112,
+                         116, 120, 124, 128, 132, 136, 140, 144, 149, 153,
+                         157, 161, 165};
+// 40 MHz bond centres: 12 channels.
+constexpr int k5g40[] = {38, 46, 54, 62, 102, 110, 118, 126, 134, 142, 151, 159};
+// 80 MHz bond centres: 6 channels.
+constexpr int k5g80[] = {42, 58, 106, 122, 138, 155};
+// 160 MHz bond centres: 2 channels.
+constexpr int k5g160[] = {50, 114};
+// 2.4 GHz non-overlapping channels.
+constexpr int k2g20[] = {1, 6, 11};
+
+}  // namespace
+
+std::vector<Channel> us_catalog(Band band, ChannelWidth width) {
+  std::vector<Channel> out;
+  auto push_all = [&](const int* first, const int* last) {
+    for (const int* it = first; it != last; ++it)
+      out.push_back(Channel{band, *it, width});
+  };
+  if (band == Band::G2_4) {
+    if (width == ChannelWidth::MHz20) push_all(std::begin(k2g20), std::end(k2g20));
+    return out;
+  }
+  switch (width) {
+    case ChannelWidth::MHz20: push_all(std::begin(k5g20), std::end(k5g20)); break;
+    case ChannelWidth::MHz40: push_all(std::begin(k5g40), std::end(k5g40)); break;
+    case ChannelWidth::MHz80: push_all(std::begin(k5g80), std::end(k5g80)); break;
+    case ChannelWidth::MHz160: push_all(std::begin(k5g160), std::end(k5g160)); break;
+  }
+  return out;
+}
+
+std::vector<Channel> candidate_set(Band band, ChannelWidth max_width, bool allow_dfs) {
+  std::vector<Channel> out;
+  if (band == Band::G2_4) return us_catalog(band, ChannelWidth::MHz20);
+  for (ChannelWidth w : widths_up_to(max_width)) {
+    for (const Channel& c : us_catalog(band, w)) {
+      if (!allow_dfs && c.is_dfs()) continue;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace channels
+
+}  // namespace w11

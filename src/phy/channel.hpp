@@ -1,0 +1,81 @@
+#pragma once
+// 802.11 channelization for the US regulatory domain.
+//
+// A `Channel` is a (band, IEEE channel number, width) triple. For bonded
+// channels the number designates the centre of the bond (e.g. 42 for the
+// 80 MHz channel spanning 36–48). The catalog functions reproduce the FCC
+// allocation cited in the paper (§4.1.1): twenty-five 20 MHz, twelve 40 MHz,
+// six 80 MHz and two 160 MHz channels at 5 GHz, three non-overlapping
+// channels at 2.4 GHz, and the DFS subsets of §4.5.2.
+
+#include <cstdint>
+#include <compare>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace w11 {
+
+enum class Band : std::uint8_t { G2_4, G5 };
+
+enum class ChannelWidth : std::uint8_t { MHz20, MHz40, MHz80, MHz160 };
+
+[[nodiscard]] constexpr int width_mhz(ChannelWidth w) {
+  switch (w) {
+    case ChannelWidth::MHz20: return 20;
+    case ChannelWidth::MHz40: return 40;
+    case ChannelWidth::MHz80: return 80;
+    case ChannelWidth::MHz160: return 160;
+  }
+  return 20;
+}
+
+[[nodiscard]] const char* to_string(Band b);
+[[nodiscard]] const char* to_string(ChannelWidth w);
+
+// Widths from 20 MHz up to and including `max`, in increasing order.
+[[nodiscard]] std::vector<ChannelWidth> widths_up_to(ChannelWidth max);
+
+struct Channel {
+  Band band = Band::G5;
+  int number = 36;  // IEEE channel number of the (bonded) centre
+  ChannelWidth width = ChannelWidth::MHz20;
+
+  friend constexpr auto operator<=>(const Channel&, const Channel&) = default;
+
+  // Centre frequency in MHz.
+  [[nodiscard]] double center_mhz() const;
+  // The 20 MHz component channel numbers of this (possibly bonded) channel.
+  [[nodiscard]] std::vector<int> components() const;
+  // Frequency overlap between two channels (any shared spectrum), which is
+  // what matters for contention and corruption on bonded transmissions.
+  [[nodiscard]] bool overlaps(const Channel& other) const;
+  // True if any 20 MHz component requires Dynamic Frequency Selection.
+  [[nodiscard]] bool is_dfs() const;
+  // The primary 20 MHz sub-channel (lowest component by convention here).
+  [[nodiscard]] Channel primary20() const;
+
+  [[nodiscard]] std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const Channel& c) {
+    return os << c.to_string();
+  }
+};
+
+namespace channels {
+
+// All US channels of the given width on the given band. For 2.4 GHz only
+// 20 MHz is returned (the three non-overlapping channels 1/6/11).
+[[nodiscard]] std::vector<Channel> us_catalog(Band band, ChannelWidth width);
+
+// Every channel an AP limited to `max_width` may choose from: all widths
+// 20..max on 5 GHz, or 1/6/11 on 2.4 GHz. `allow_dfs`=false filters DFS.
+[[nodiscard]] std::vector<Channel> candidate_set(Band band, ChannelWidth max_width,
+                                                 bool allow_dfs);
+
+// True if the 20 MHz 5 GHz channel number lies in a DFS range (52–64,
+// 100–144 in the US).
+[[nodiscard]] bool is_dfs_20mhz(int number);
+
+}  // namespace channels
+
+}  // namespace w11

@@ -1,0 +1,116 @@
+#include "phy/mcs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace w11::mcs {
+
+namespace {
+
+// Data subcarriers per channel width.
+int data_subcarriers(ChannelWidth w) {
+  switch (w) {
+    case ChannelWidth::MHz20: return 52;
+    case ChannelWidth::MHz40: return 108;
+    case ChannelWidth::MHz80: return 234;
+    case ChannelWidth::MHz160: return 468;
+  }
+  return 52;
+}
+
+// Coded bits per subcarrier × coding rate, i.e. information bits carried by
+// one data subcarrier in one symbol, per spatial stream.
+double info_bits_per_subcarrier(int mcs_value) {
+  switch (mcs_value) {
+    case 0: return 0.5;        // BPSK 1/2
+    case 1: return 1.0;        // QPSK 1/2
+    case 2: return 1.5;        // QPSK 3/4
+    case 3: return 2.0;        // 16-QAM 1/2
+    case 4: return 3.0;        // 16-QAM 3/4
+    case 5: return 4.0;        // 64-QAM 2/3
+    case 6: return 4.5;        // 64-QAM 3/4
+    case 7: return 5.0;        // 64-QAM 5/6
+    case 8: return 6.0;        // 256-QAM 3/4
+    case 9: return 20.0 / 3.0; // 256-QAM 5/6
+    default: return 0.0;
+  }
+}
+
+}  // namespace
+
+bool valid(McsIndex idx, ChannelWidth width) {
+  if (idx.mcs < 0 || idx.mcs > kMaxMcs) return false;
+  if (idx.nss < 1 || idx.nss > kMaxNss) return false;
+  // Standard exclusions (802.11ac Table 21-29 ff.) for nss ≤ 4:
+  // 20 MHz: MCS9 defined only for nss = 3.
+  if (width == ChannelWidth::MHz20 && idx.mcs == 9 && idx.nss != 3) return false;
+  // 80 MHz: MCS6 undefined for nss = 3.
+  if (width == ChannelWidth::MHz80 && idx.mcs == 6 && idx.nss == 3) return false;
+  // 160 MHz: MCS9 undefined for nss = 3.
+  if (width == ChannelWidth::MHz160 && idx.mcs == 9 && idx.nss == 3) return false;
+  return true;
+}
+
+std::optional<RateMbps> rate(McsIndex idx, ChannelWidth width, bool short_gi) {
+  if (!valid(idx, width)) return std::nullopt;
+  const double symbol_us = short_gi ? 3.6 : 4.0;
+  const double bits_per_symbol =
+      data_subcarriers(width) * info_bits_per_subcarrier(idx.mcs) * idx.nss;
+  return RateMbps{bits_per_symbol / symbol_us};
+}
+
+Db min_snr(McsIndex idx) {
+  // Representative receiver sensitivity deltas; MIMO streams need extra SNR
+  // for stream separation (~3 dB per additional stream).
+  static constexpr double kBase[] = {5.0, 8.0, 11.0, 14.0, 17.5,
+                                     21.5, 23.0, 24.5, 28.5, 30.5};
+  W11_CHECK(idx.mcs >= 0 && idx.mcs <= kMaxMcs);
+  return kBase[idx.mcs] + 3.0 * (idx.nss - 1);
+}
+
+std::optional<McsIndex> select(Db snr, ChannelWidth width, int max_nss) {
+  std::optional<McsIndex> best;
+  RateMbps best_rate{0.0};
+  const int nss_cap = std::clamp(max_nss, 1, kMaxNss);
+  for (int nss = 1; nss <= nss_cap; ++nss) {
+    for (int m = 0; m <= kMaxMcs; ++m) {
+      const McsIndex idx{m, nss};
+      if (!valid(idx, width)) continue;
+      if (snr < min_snr(idx)) continue;
+      const auto r = rate(idx, width, /*short_gi=*/true);
+      if (r && *r > best_rate) {
+        best_rate = *r;
+        best = idx;
+      }
+    }
+  }
+  return best;
+}
+
+double packet_error_rate(McsIndex idx, Db snr, int mpdu_bytes) {
+  // Sigmoid PER curve centred slightly below the selection threshold: at the
+  // threshold a 1500 B MPDU sees ≈8 % PER, improving ~an order of magnitude
+  // per 2 dB. Longer frames are proportionally more exposed.
+  const double margin = snr - (min_snr(idx) - 1.0);
+  const double per_1500 = 1.0 / (1.0 + std::exp(1.35 * margin));
+  const double scale = std::max(1, mpdu_bytes) / 1500.0;
+  const double per = 1.0 - std::pow(1.0 - std::min(per_1500, 0.999), scale);
+  return std::clamp(per, 0.0, 1.0);
+}
+
+RateMbps max_rate(const Capability& a, const Capability& b) {
+  const ChannelWidth width = std::min(a.max_width, b.max_width);
+  const int nss = std::min(a.max_nss, b.max_nss);
+  const int mcs_cap = std::min(a.max_mcs, b.max_mcs);
+  const bool sgi = a.short_gi && b.short_gi;
+  RateMbps best{0.0};
+  for (int m = 0; m <= mcs_cap; ++m) {
+    const auto r = rate(McsIndex{m, nss}, width, sgi);
+    if (r && *r > best) best = *r;
+  }
+  return best;
+}
+
+}  // namespace w11::mcs

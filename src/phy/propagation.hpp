@@ -1,0 +1,55 @@
+#pragma once
+// Radio propagation: log-distance path loss with per-link lognormal
+// shadowing, RSSI and SNR computation.
+//
+// The shadowing term is derived deterministically from the endpoint
+// positions so a given link always sees the same loss — this keeps scan
+// reports, channel plans and tests reproducible without threading an Rng
+// through every RSSI query.
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "phy/channel.hpp"
+
+namespace w11 {
+
+struct Position {
+  double x = 0.0;  // metres
+  double y = 0.0;
+  friend constexpr auto operator<=>(const Position&, const Position&) = default;
+};
+
+[[nodiscard]] inline double distance_m(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+struct PropagationModel {
+  // Reference path loss at 1 m. 5 GHz attenuates ≈6 dB more than 2.4 GHz.
+  Db ref_loss_2g = 40.0;
+  Db ref_loss_5g = 46.4;
+  // Path-loss exponent; ≈3 models indoor office with walls.
+  double exponent = 3.0;
+  // Lognormal shadowing standard deviation (dB). 0 disables shadowing.
+  Db shadowing_sigma = 4.0;
+  // Thermal noise for 20 MHz; widens with channel bandwidth.
+  Dbm noise_floor_20mhz = -95.0;
+
+  [[nodiscard]] Db path_loss(const Position& a, const Position& b, Band band) const;
+  [[nodiscard]] Dbm rssi(Dbm tx_power, const Position& a, const Position& b,
+                         Band band) const;
+  [[nodiscard]] Dbm noise_floor(ChannelWidth width) const;
+  [[nodiscard]] Db snr(Dbm tx_power, const Position& a, const Position& b,
+                       Band band, ChannelWidth width) const;
+};
+
+// Standard AP/client transmit powers used throughout the models.
+inline constexpr Dbm kApTxPowerDbm = 20.0;
+inline constexpr Dbm kClientTxPowerDbm = 15.0;
+// Below this RSSI a frame is undetectable (also the carrier-sense floor).
+inline constexpr Dbm kSensitivityDbm = -90.0;
+
+}  // namespace w11

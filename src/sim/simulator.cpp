@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+namespace w11 {
+
+EventHandle Simulator::schedule_at(Time at, Callback cb) {
+  W11_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{at, next_seq_++, std::move(cb), flag});
+  ++live_events_;
+  return EventHandle{std::move(flag)};
+}
+
+EventHandle Simulator::schedule_after(Time delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Simulator::pop_and_run() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  --live_events_;
+  now_ = ev.at;
+  if (!*ev.cancelled) {
+    ++processed_;
+    ev.cb();
+  }
+}
+
+void Simulator::run_until(Time until) {
+  while (!queue_.empty() && queue_.top().at <= until) pop_and_run();
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) pop_and_run();
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  pop_and_run();
+  return true;
+}
+
+}  // namespace w11

@@ -1,0 +1,126 @@
+#pragma once
+// Discrete-event simulation engine.
+//
+// The Simulator owns a priority queue of (time, sequence, callback) events.
+// Events scheduled for the same instant run in scheduling order (the
+// sequence number breaks ties deterministically). Handles returned by
+// schedule() can cancel pending events, which is how timers are retired.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace w11 {
+
+class EventHandle;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Schedule `cb` at absolute time `at` (must be >= now). Returns a handle
+  // that can cancel the event while it is still pending.
+  EventHandle schedule_at(Time at, Callback cb);
+
+  // Schedule `cb` after a relative delay.
+  EventHandle schedule_after(Time delay, Callback cb);
+
+  // Run until the queue drains or simulated time exceeds `until`.
+  void run_until(Time until);
+
+  // Run until the queue drains entirely.
+  void run();
+
+  // Execute at most one event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+  [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  Time now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  friend class EventHandle;
+};
+
+// Cancellation token for a scheduled event. Copyable; cancelling any copy
+// cancels the event. A default-constructed handle is inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (flag_ && !*flag_) *flag_ = true;
+  }
+  [[nodiscard]] bool pending() const { return flag_ && !*flag_; }
+
+ private:
+  explicit EventHandle(std::shared_ptr<bool> flag) : flag_(std::move(flag)) {}
+  std::shared_ptr<bool> flag_;
+  friend class Simulator;
+};
+
+// A repeating timer built on the Simulator. Fires first after `period`
+// (or `first_delay` if given), then every `period` until stopped/destroyed.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Time period, Simulator::Callback cb)
+      : PeriodicTimer(sim, period, period, std::move(cb)) {}
+
+  PeriodicTimer(Simulator& sim, Time first_delay, Time period, Simulator::Callback cb)
+      : sim_(sim), period_(period), cb_(std::move(cb)) {
+    W11_CHECK(period_ > Time{0});
+    arm(first_delay);
+  }
+
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void stop() { handle_.cancel(); }
+
+ private:
+  void arm(Time delay) {
+    handle_ = sim_.schedule_after(delay, [this] {
+      arm(period_);
+      cb_();
+    });
+  }
+
+  Simulator& sim_;
+  Time period_;
+  Simulator::Callback cb_;
+  EventHandle handle_;
+};
+
+}  // namespace w11

@@ -1,0 +1,45 @@
+#pragma once
+// Collector: periodically snapshots a flowsim network evaluation into
+// LittleTable rows — the shape of the Meraki backend's polling loop (§2.2).
+
+#include "flowsim/network.hpp"
+#include "telemetry/littletable.hpp"
+
+namespace w11::telemetry {
+
+class NetworkCollector {
+ public:
+  NetworkCollector()
+      : ap_stats_("ap_stats", {"throughput_mbps", "offered_mbps", "utilization",
+                               "airtime_share", "mean_phy_rate_mbps",
+                               "bitrate_efficiency", "cochannel_interferers"}),
+        net_stats_("network_stats",
+                   {"total_throughput_mbps", "total_offered_mbps",
+                    "channel_switches"}) {}
+
+  // Record one polling interval.
+  void record(const flowsim::Network& net, const flowsim::Evaluation& ev,
+              Time at) {
+    for (const auto& m : ev.per_ap) {
+      ap_stats_.insert(m.id.value(), at,
+                       {m.throughput_mbps, m.offered_mbps, m.utilization,
+                        m.airtime_share, m.mean_phy_rate_mbps,
+                        m.mean_bitrate_efficiency,
+                        static_cast<double>(m.cochannel_interferers)});
+    }
+    net_stats_.insert(0, at,
+                      {ev.total_throughput_mbps, ev.total_offered_mbps,
+                       static_cast<double>(net.total_switches())});
+  }
+
+  [[nodiscard]] const LittleTable& ap_stats() const { return ap_stats_; }
+  [[nodiscard]] const LittleTable& net_stats() const { return net_stats_; }
+  [[nodiscard]] LittleTable& ap_stats() { return ap_stats_; }
+  [[nodiscard]] LittleTable& net_stats() { return net_stats_; }
+
+ private:
+  LittleTable ap_stats_;
+  LittleTable net_stats_;
+};
+
+}  // namespace w11::telemetry

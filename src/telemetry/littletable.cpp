@@ -1,0 +1,113 @@
+#include "telemetry/littletable.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace w11::telemetry {
+
+LittleTable::LittleTable(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  W11_CHECK_MSG(!columns_.empty(), "a table needs at least one column");
+}
+
+std::size_t LittleTable::column_index(std::string_view column) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i] == column) return i;
+  throw std::logic_error("LittleTable '" + name_ + "': unknown column '" +
+                         std::string(column) + "'");
+}
+
+void LittleTable::insert(std::uint32_t entity, Time at,
+                         std::vector<double> values) {
+  W11_CHECK_MSG(values.size() == columns_.size(), "schema width mismatch");
+  if (!rows_.empty() && at < rows_.back().at) sorted_ = false;
+  rows_.push_back(Row{entity, at, std::move(values)});
+}
+
+void LittleTable::ensure_sorted() const {
+  if (sorted_) return;
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [](const Row& a, const Row& b) { return a.at < b.at; });
+  sorted_ = true;
+}
+
+std::vector<LittleTable::Row> LittleTable::query(
+    Time from, Time to, std::optional<std::uint32_t> entity) const {
+  ensure_sorted();
+  const auto lo = std::lower_bound(
+      rows_.begin(), rows_.end(), from,
+      [](const Row& r, Time t) { return r.at < t; });
+  std::vector<Row> out;
+  for (auto it = lo; it != rows_.end() && it->at <= to; ++it) {
+    if (entity && it->entity != *entity) continue;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<std::pair<Time, double>> LittleTable::aggregate(
+    std::string_view column, Agg agg, Time from, Time to, Time bucket) const {
+  W11_CHECK(bucket > Time{0});
+  const std::size_t col = column_index(column);
+  ensure_sorted();
+
+  std::vector<std::pair<Time, double>> out;
+  struct Acc {
+    double sum = 0.0;
+    double mn = std::numeric_limits<double>::infinity();
+    double mx = -std::numeric_limits<double>::infinity();
+    std::size_t n = 0;
+  };
+  Acc acc;
+  Time bucket_start = from;
+
+  auto flush = [&] {
+    if (acc.n == 0) return;
+    double v = 0.0;
+    switch (agg) {
+      case Agg::kSum: v = acc.sum; break;
+      case Agg::kMean: v = acc.sum / static_cast<double>(acc.n); break;
+      case Agg::kMin: v = acc.mn; break;
+      case Agg::kMax: v = acc.mx; break;
+      case Agg::kCount: v = static_cast<double>(acc.n); break;
+    }
+    out.emplace_back(bucket_start, v);
+    acc = Acc{};
+  };
+
+  const auto lo = std::lower_bound(
+      rows_.begin(), rows_.end(), from,
+      [](const Row& r, Time t) { return r.at < t; });
+  for (auto it = lo; it != rows_.end() && it->at <= to; ++it) {
+    while (it->at >= bucket_start + bucket) {
+      flush();
+      bucket_start += bucket;
+    }
+    const double v = it->values[col];
+    acc.sum += v;
+    acc.mn = std::min(acc.mn, v);
+    acc.mx = std::max(acc.mx, v);
+    ++acc.n;
+  }
+  flush();
+  return out;
+}
+
+double LittleTable::aggregate_scalar(std::string_view column, Agg agg,
+                                     Time from, Time to) const {
+  const auto buckets = aggregate(column, agg, from, to, to - from + Time{1});
+  if (buckets.empty()) return 0.0;
+  return buckets.front().second;
+}
+
+void LittleTable::trim_before(Time cutoff) {
+  ensure_sorted();
+  const auto lo = std::lower_bound(
+      rows_.begin(), rows_.end(), cutoff,
+      [](const Row& r, Time t) { return r.at < t; });
+  rows_.erase(rows_.begin(), lo);
+}
+
+}  // namespace w11::telemetry

@@ -1,0 +1,67 @@
+#pragma once
+// LittleTable-style time-series storage (§2.2, [42]).
+//
+// The Meraki backend aggregates AP statistics into a clustered time-series
+// database; this is an in-memory equivalent with the same usage pattern:
+// fixed schema per table, rows keyed by (entity, timestamp), appended in
+// (mostly) time order, queried by time range, bucket-aggregated for
+// dashboards, and trimmed by retention.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace w11::telemetry {
+
+class LittleTable {
+ public:
+  struct Row {
+    std::uint32_t entity = 0;
+    Time at{};
+    std::vector<double> values;
+  };
+
+  enum class Agg { kSum, kMean, kMin, kMax, kCount };
+
+  LittleTable(std::string name, std::vector<std::string> columns);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const { return columns_; }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  // Insert one row. Values must match the schema width. Out-of-order
+  // timestamps are accepted (a sort index is rebuilt lazily).
+  void insert(std::uint32_t entity, Time at, std::vector<double> values);
+
+  // All rows in [from, to], optionally restricted to one entity.
+  [[nodiscard]] std::vector<Row> query(Time from, Time to,
+                                       std::optional<std::uint32_t> entity =
+                                           std::nullopt) const;
+
+  // Aggregate `column` over fixed time buckets within [from, to].
+  // Returns (bucket start, aggregate) for every non-empty bucket.
+  [[nodiscard]] std::vector<std::pair<Time, double>> aggregate(
+      std::string_view column, Agg agg, Time from, Time to, Time bucket) const;
+
+  // Single aggregate over the whole range.
+  [[nodiscard]] double aggregate_scalar(std::string_view column, Agg agg,
+                                        Time from, Time to) const;
+
+  // Retention: drop rows strictly before `cutoff`.
+  void trim_before(Time cutoff);
+
+ private:
+  [[nodiscard]] std::size_t column_index(std::string_view column) const;
+  void ensure_sorted() const;
+
+  std::string name_;
+  std::vector<std::string> columns_;
+  mutable std::vector<Row> rows_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace w11::telemetry

@@ -1,0 +1,49 @@
+#pragma once
+// Client device capabilities as advertised at association time (Fig. 1).
+
+#include "phy/channel.hpp"
+#include "phy/mcs.hpp"
+
+namespace w11 {
+
+enum class WifiStandard : std::uint8_t { k80211g, k80211n, k80211ac };
+
+[[nodiscard]] constexpr const char* to_string(WifiStandard s) {
+  switch (s) {
+    case WifiStandard::k80211g: return "802.11g";
+    case WifiStandard::k80211n: return "802.11n";
+    case WifiStandard::k80211ac: return "802.11ac";
+  }
+  return "?";
+}
+
+struct ClientCapability {
+  WifiStandard standard = WifiStandard::k80211ac;
+  bool supports_5ghz = true;
+  ChannelWidth max_width = ChannelWidth::MHz80;
+  int max_nss = 2;
+  bool short_gi = true;
+  bool supports_csa = true;  // honours Channel Switch Announcements (§4.3.1)
+
+  [[nodiscard]] mcs::Capability to_mcs_capability() const {
+    mcs::Capability c;
+    c.max_width = max_width;
+    c.max_nss = max_nss;
+    c.short_gi = short_gi;
+    // 802.11n tops out at MCS7-equivalent modulation (64-QAM 5/6).
+    c.max_mcs = (standard == WifiStandard::k80211ac) ? mcs::kMaxMcs : 7;
+    return c;
+  }
+};
+
+struct ApCapability {
+  ChannelWidth max_width = ChannelWidth::MHz80;
+  int max_nss = 3;  // the paper's testbed APs are 3x3 wave-2
+  bool short_gi = true;
+
+  [[nodiscard]] mcs::Capability to_mcs_capability() const {
+    return mcs::Capability{max_width, max_nss, mcs::kMaxMcs, short_gi};
+  }
+};
+
+}  // namespace w11

@@ -1,0 +1,38 @@
+#pragma once
+// AP datapath interception points.
+//
+// The FastACK agent (core/fastack) plugs into the AP through this interface
+// — the same three touch points the paper's Click-based implementation uses
+// (Figs. 11 & 12): downlink TCP data from the wire, uplink TCP ACKs from
+// the client, and per-MPDU 802.11 acknowledgment outcomes.
+
+#include "net/tcp_segment.hpp"
+
+namespace w11 {
+
+class TcpInterceptor {
+ public:
+  virtual ~TcpInterceptor() = default;
+
+  enum class DataAction {
+    kForward,          // enqueue normally
+    kForwardPriority,  // enqueue at queue head (end-to-end retransmission)
+    kDrop,             // spurious retransmission — do not transmit
+  };
+
+  // Downlink TCP data arriving from the wire, before queuing. The agent may
+  // mutate the segment (not needed today) and decides its fate.
+  virtual DataAction on_downlink_data(TcpSegment& seg) = 0;
+
+  // Uplink TCP ACK received over the air from the client. Return true to
+  // suppress (the AP will not forward it upstream).
+  virtual bool on_uplink_ack(const TcpSegment& ack) = 0;
+
+  // A downlink TCP data MPDU was acknowledged at the 802.11 layer.
+  virtual void on_80211_delivered(const TcpSegment& seg) = 0;
+
+  // A downlink MPDU exhausted its 802.11 retries and was dropped.
+  virtual void on_mpdu_dropped(const TcpSegment& seg) = 0;
+};
+
+}  // namespace w11

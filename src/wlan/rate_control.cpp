@@ -1,0 +1,66 @@
+#include "wlan/rate_control.hpp"
+
+#include <algorithm>
+
+namespace w11 {
+
+RateController::RateController(const PropagationModel& prop, Position ap_pos,
+                               Position client_pos, Band band,
+                               ChannelWidth channel_width, ApCapability ap_cap,
+                               ClientCapability client_cap, Config cfg, Rng rng)
+    : cfg_(cfg), rng_(std::move(rng)) {
+  width_ = std::min(channel_width,
+                    std::min(ap_cap.max_width, client_cap.max_width));
+  nss_ = std::min(ap_cap.max_nss, client_cap.max_nss);
+  short_gi_ = ap_cap.short_gi && client_cap.short_gi;
+  max_mcs_ = client_cap.to_mcs_capability().max_mcs;
+  rssi_ = prop.rssi(cfg.tx_power, ap_pos, client_pos, band);
+  mean_snr_ = rssi_ - prop.noise_floor(width_);
+
+  mcs::Capability ac = ap_cap.to_mcs_capability();
+  mcs::Capability cc = client_cap.to_mcs_capability();
+  ac.max_width = cc.max_width = width_;
+  max_rate_ = mcs::max_rate(ac, cc);
+}
+
+RateController::Decision RateController::decide_txop() {
+  Decision d;
+  d.snr = mean_snr_ + (cfg_.fading_sigma > 0.0
+                           ? rng_.normal(0.0, cfg_.fading_sigma)
+                           : 0.0);
+  const auto pick = mcs::select(d.snr - cfg_.selection_margin, width_, nss_);
+  if (!pick || pick->mcs > max_mcs_) {
+    // Either no MCS fits or the capability caps modulation; degrade to the
+    // best capped choice at this SNR.
+    std::optional<McsIndex> best;
+    RateMbps best_rate{0.0};
+    for (int nss = 1; nss <= nss_; ++nss) {
+      for (int m = 0; m <= max_mcs_; ++m) {
+        const McsIndex idx{m, nss};
+        if (!mcs::valid(idx, width_)) continue;
+        if (d.snr - cfg_.selection_margin < mcs::min_snr(idx)) continue;
+        const auto r = mcs::rate(idx, width_, short_gi_);
+        if (r && *r > best_rate) {
+          best_rate = *r;
+          best = idx;
+        }
+      }
+    }
+    if (!best) {
+      d.viable = false;
+      d.mcs = McsIndex{0, 1};
+      d.rate = mcs::rate(d.mcs, width_, short_gi_).value_or(RateMbps{6.5});
+      return d;
+    }
+    d.mcs = *best;
+    d.rate = best_rate;
+    d.viable = true;
+    return d;
+  }
+  d.mcs = *pick;
+  d.rate = mcs::rate(*pick, width_, short_gi_).value_or(RateMbps{6.5});
+  d.viable = true;
+  return d;
+}
+
+}  // namespace w11

@@ -1,0 +1,61 @@
+#pragma once
+// SNR-driven bit-rate selection for one AP↔client link.
+//
+// A simplified Minstrel: the controller tracks an SNR estimate for the link
+// (mean SNR from the propagation model plus slow fading jitter drawn per
+// TXOP) and selects the highest valid VHT MCS with a safety margin. It also
+// reports the maximum rate the pair could ever use — the denominator of the
+// paper's *bit-rate efficiency* metric (§4.6.2).
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "phy/channel.hpp"
+#include "phy/mcs.hpp"
+#include "phy/propagation.hpp"
+#include "wlan/capability.hpp"
+
+namespace w11 {
+
+class RateController {
+ public:
+  struct Config {
+    Db selection_margin = 2.0;  // back off from the threshold for stability
+    Db fading_sigma = 2.0;      // per-TXOP SNR jitter (dB)
+    Dbm tx_power = kApTxPowerDbm;  // clients pass kClientTxPowerDbm
+  };
+
+  RateController(const PropagationModel& prop, Position ap_pos, Position client_pos,
+                 Band band, ChannelWidth channel_width, ApCapability ap_cap,
+                 ClientCapability client_cap, Config cfg, Rng rng);
+
+  // Current PHY rate decision plus the SNR realized for this TXOP.
+  struct Decision {
+    McsIndex mcs;
+    RateMbps rate;
+    Db snr;          // realized (faded) SNR for PER evaluation
+    bool viable;     // false if even MCS0 is not sustainable
+  };
+  [[nodiscard]] Decision decide_txop();
+
+  // Link-budget facts (no fading).
+  [[nodiscard]] Db mean_snr() const { return mean_snr_; }
+  [[nodiscard]] Dbm rssi() const { return rssi_; }
+  // Max rate both ends support at this channel width — the bit-rate
+  // efficiency denominator.
+  [[nodiscard]] RateMbps max_link_rate() const { return max_rate_; }
+  [[nodiscard]] ChannelWidth effective_width() const { return width_; }
+  [[nodiscard]] int effective_nss() const { return nss_; }
+
+ private:
+  Config cfg_;
+  ChannelWidth width_;
+  int nss_;
+  bool short_gi_;
+  int max_mcs_;
+  Db mean_snr_;
+  Dbm rssi_;
+  RateMbps max_rate_;
+  Rng rng_;
+};
+
+}  // namespace w11

@@ -1,0 +1,110 @@
+#include "workload/device_population.hpp"
+
+#include <algorithm>
+
+namespace w11::workload {
+
+ClientCapability sample_client(Era era, Rng& rng) {
+  const bool is_2017 = era == Era::k2017;
+  ClientCapability cap;
+
+  // Band support: ~40 % of devices are 2.4 GHz-only in both eras (the
+  // paper calls this "surprisingly steady").
+  cap.supports_5ghz = !rng.bernoulli(0.40);
+
+  // Standard. 2.4-only devices cannot be 802.11ac.
+  const double p_ac = is_2017 ? 0.46 : 0.18;
+  if (cap.supports_5ghz && rng.bernoulli(std::min(1.0, p_ac / 0.60))) {
+    cap.standard = WifiStandard::k80211ac;
+  } else if (rng.bernoulli(0.95)) {
+    cap.standard = WifiStandard::k80211n;
+  } else {
+    cap.standard = WifiStandard::k80211g;
+  }
+
+  // Channel width follows the standard: 11ac devices are overwhelmingly
+  // 80 MHz-capable by 2017; 11n tops out at 40 MHz.
+  switch (cap.standard) {
+    case WifiStandard::k80211ac:
+      cap.max_width = rng.bernoulli(is_2017 ? 0.90 : 0.75) ? ChannelWidth::MHz80
+                                                           : ChannelWidth::MHz40;
+      break;
+    case WifiStandard::k80211n:
+      cap.max_width =
+          rng.bernoulli(0.65) ? ChannelWidth::MHz40 : ChannelWidth::MHz20;
+      break;
+    case WifiStandard::k80211g:
+      cap.max_width = ChannelWidth::MHz20;
+      break;
+  }
+
+  // Spatial streams: 2-stream share 19 % (2015) → 37 % (2017); a sliver of
+  // 3-stream laptops.
+  const double p_2ss = is_2017 ? 0.37 : 0.19;
+  if (rng.bernoulli(p_2ss)) {
+    cap.max_nss = rng.bernoulli(0.12) ? 3 : 2;
+  } else {
+    cap.max_nss = 1;
+  }
+
+  cap.short_gi = cap.standard != WifiStandard::k80211g;
+  // CSA support is spotty, worse on older devices (§4.3.1).
+  cap.supports_csa = rng.bernoulli(is_2017 ? 0.80 : 0.65);
+  return cap;
+}
+
+CapabilityShares summarize(const std::vector<ClientCapability>& pop) {
+  CapabilityShares s;
+  if (pop.empty()) return s;
+  for (const auto& c : pop) {
+    if (c.standard == WifiStandard::k80211ac) s.ac += 1;
+    if (c.standard == WifiStandard::k80211n) s.n_only += 1;
+    if (!c.supports_5ghz) s.band24_only += 1;
+    if (c.max_nss >= 2) s.two_stream += 1;
+    if (c.max_width >= ChannelWidth::MHz40) s.width40 += 1;
+    if (c.max_width >= ChannelWidth::MHz80) s.width80 += 1;
+  }
+  const auto n = static_cast<double>(pop.size());
+  s.ac /= n;
+  s.n_only /= n;
+  s.band24_only /= n;
+  s.two_stream /= n;
+  s.width40 /= n;
+  s.width80 /= n;
+  return s;
+}
+
+ApProfile sample_ap(Rng& rng) {
+  ApProfile ap;
+  const double r = rng.uniform();
+  ap.standard = r < 0.52   ? WifiStandard::k80211ac
+                : r < 0.99 ? WifiStandard::k80211n
+                           : WifiStandard::k80211g;
+  const double a = rng.uniform();
+  ap.antenna_chains = a < 0.01 ? 1 : a < 0.74 ? 2 : a < 0.98 ? 3 : 4;
+  ap.indoor = rng.bernoulli(0.93);
+  return ap;
+}
+
+ChannelWidth sample_configured_width(bool large_network, Rng& rng) {
+  // Table 1 columns.
+  const double p20 = large_network ? 0.173 : 0.149;
+  const double p40 = large_network ? 0.194 : 0.191;
+  const double r = rng.uniform();
+  if (r < p20) return ChannelWidth::MHz20;
+  if (r < p20 + p40) return ChannelWidth::MHz40;
+  return ChannelWidth::MHz80;
+}
+
+int sample_client_density(Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.33) return static_cast<int>(rng.uniform_int(1, 5));
+  if (r < 0.55) return static_cast<int>(rng.uniform_int(6, 10));
+  if (r < 0.75) return static_cast<int>(rng.uniform_int(11, 20));
+  // Heavy tail up to the observed maximum of 338.
+  const double u = rng.uniform();
+  const int heavy = 21 + static_cast<int>(std::pow(u, 3.0) * 317.0);
+  return std::min(heavy, 338);
+}
+
+}  // namespace w11::workload

@@ -1,0 +1,54 @@
+#pragma once
+// Generative models of the device populations the paper measures (§3.2).
+//
+// The §3 study is over Meraki's production fleet, which we obviously do not
+// have; instead the reported marginal distributions are encoded here as
+// samplers. Benches draw populations from these models and re-derive the
+// paper's figures, which keeps every statistic flowing through the same
+// code paths a real backend would use.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "wlan/capability.hpp"
+
+namespace w11::workload {
+
+// Which measurement epoch's marginals to use (Fig. 1 compares 2015 → 2017).
+enum class Era { k2015, k2017 };
+
+// Draw one client device's advertised capabilities.
+//   2017 marginals: 46 % 802.11ac, ~40 % 2.4 GHz-only, 37 % 2-stream;
+//   2015 marginals: 18 % 802.11ac, ~40 % 2.4 GHz-only, 19 % 2-stream.
+[[nodiscard]] ClientCapability sample_client(Era era, Rng& rng);
+
+// Population summary used by the Fig. 1 bench.
+struct CapabilityShares {
+  double ac = 0.0;           // 802.11ac-capable
+  double n_only = 0.0;       // 802.11n (not ac)
+  double band24_only = 0.0;  // no 5 GHz support
+  double two_stream = 0.0;   // >= 2 spatial streams
+  double width40 = 0.0;      // >= 40 MHz capable
+  double width80 = 0.0;      // >= 80 MHz capable
+};
+[[nodiscard]] CapabilityShares summarize(const std::vector<ClientCapability>& pop);
+
+// AP-side population (§3.2.1): 52 % ac / 47 % n / 1 % g; antenna chains
+// <1 % single, 73 % two, 24 % three, 2 % four; 93 % indoor.
+struct ApProfile {
+  WifiStandard standard = WifiStandard::k80211ac;
+  int antenna_chains = 2;
+  bool indoor = true;
+};
+[[nodiscard]] ApProfile sample_ap(Rng& rng);
+
+// Administrator channel-width configuration (Table 1): the probability an
+// 80 MHz-capable AP is configured down to 40 or 20 MHz, fleet-wide vs in
+// networks larger than 10 APs.
+[[nodiscard]] ChannelWidth sample_configured_width(bool large_network, Rng& rng);
+
+// Per-AP peak associated-client count (§3.2.3 client density buckets:
+// 33 % ≤5, 22 % 6–10, 20 % 11–20, 25 % ≥21, max observed 338).
+[[nodiscard]] int sample_client_density(Rng& rng);
+
+}  // namespace w11::workload

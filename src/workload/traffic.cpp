@@ -1,0 +1,54 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace w11::workload {
+
+double diurnal_factor(double hour) {
+  hour = std::fmod(hour, 24.0);
+  if (hour < 0) hour += 24.0;
+  // Piecewise profile anchored at (hour, factor) control points.
+  static constexpr std::pair<double, double> kAnchors[] = {
+      {0.0, 0.08}, {6.0, 0.10}, {8.0, 0.45}, {10.0, 0.95}, {12.0, 0.75},
+      {13.0, 0.85}, {15.0, 1.00}, {17.0, 0.80}, {19.0, 0.35}, {22.0, 0.12},
+      {24.0, 0.08}};
+  for (std::size_t i = 1; i < std::size(kAnchors); ++i) {
+    if (hour <= kAnchors[i].first) {
+      const auto& [h0, f0] = kAnchors[i - 1];
+      const auto& [h1, f1] = kAnchors[i];
+      const double t = (hour - h0) / (h1 - h0);
+      return f0 + t * (f1 - f0);
+    }
+  }
+  return kAnchors[0].second;
+}
+
+double burst_factor(const BurstEvent& b, double hour) {
+  return (hour >= b.start_hour && hour < b.start_hour + b.duration_hours)
+             ? b.multiplier
+             : 1.0;
+}
+
+AccessCategory sample_field_ac(Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.14) return AccessCategory::BK;
+  if (r < 0.995) return AccessCategory::BE;
+  return r < 0.998 ? AccessCategory::VI : AccessCategory::VO;
+}
+
+AccessCategory sample_office_ac(Rng& rng) {
+  return rng.bernoulli(0.10) ? AccessCategory::VO : AccessCategory::BE;
+}
+
+int dscp_for(AccessCategory ac) {
+  switch (ac) {
+    case AccessCategory::BK: return 8;   // CS1
+    case AccessCategory::BE: return 0;   // CS0
+    case AccessCategory::VI: return 32;  // CS4
+    case AccessCategory::VO: return 46;  // EF
+  }
+  return 0;
+}
+
+}  // namespace w11::workload

@@ -1,0 +1,36 @@
+#pragma once
+// Traffic shape generators: diurnal load profiles (Fig. 6), burst events,
+// and the access-category mixes observed in the field (§3.2.4).
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "mac/edca.hpp"
+
+namespace w11::workload {
+
+// Multiplicative load factor for an enterprise workday, by hour [0, 24).
+// Low overnight, ramps from ~8 am, lunch dip, afternoon peak, evening
+// fall-off — the shape behind the paper's "peak vs non-peak" comparisons.
+[[nodiscard]] double diurnal_factor(double hour);
+
+// A transient usage burst (the 2 pm spike in Fig. 6).
+struct BurstEvent {
+  double start_hour = 14.0;
+  double duration_hours = 0.5;
+  double multiplier = 3.0;
+};
+[[nodiscard]] double burst_factor(const BurstEvent& b, double hour);
+
+// Field-wide access-category mix (§3.2.4): 14 % BK, 86 % BE, negligible
+// VI/VO — the paper blames upstream DSCP mangling.
+[[nodiscard]] AccessCategory sample_field_ac(Rng& rng);
+
+// A "typical enterprise office" mix: 10 % VO, 90 % BE.
+[[nodiscard]] AccessCategory sample_office_ac(Rng& rng);
+
+// DSCP value that maps (via dscp_to_ac) onto the given category.
+[[nodiscard]] int dscp_for(AccessCategory ac);
+
+}  // namespace w11::workload

@@ -1,0 +1,347 @@
+// Unit tests for common/: strong types, statistics, RNG.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace w11 {
+namespace {
+
+// ---------------------------------------------------------------- Time --
+
+TEST(Time, FactoriesProduceExpectedNanos) {
+  EXPECT_EQ(time::nanos(5).ns(), 5);
+  EXPECT_EQ(time::micros(3).ns(), 3'000);
+  EXPECT_EQ(time::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(time::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(time::minutes(1).ns(), 60'000'000'000LL);
+  EXPECT_EQ(time::hours(1).ns(), 3'600'000'000'000LL);
+}
+
+TEST(Time, ArithmeticAndComparison) {
+  const Time a = time::millis(5);
+  const Time b = time::millis(3);
+  EXPECT_EQ((a + b).ns(), time::millis(8).ns());
+  EXPECT_EQ((a - b).ns(), time::millis(2).ns());
+  EXPECT_EQ((a * 2).ns(), time::millis(10).ns());
+  EXPECT_EQ((a / 5).ns(), time::millis(1).ns());
+  EXPECT_EQ(a / b, 1);  // integer division of durations
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+}
+
+TEST(Time, UnitConversions) {
+  const Time t = time::micros(1500);
+  EXPECT_DOUBLE_EQ(t.us(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.ms(), 1.5);
+  EXPECT_DOUBLE_EQ(t.sec(), 0.0015);
+}
+
+TEST(Time, FromSecRoundsToNearest) {
+  EXPECT_EQ(time::from_sec(1e-9).ns(), 1);
+  EXPECT_EQ(time::from_sec(2.5e-9).ns(), 3);  // round half up
+  EXPECT_EQ(time::from_sec(1.0).ns(), 1'000'000'000);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = time::millis(1);
+  t += time::millis(2);
+  EXPECT_EQ(t, time::millis(3));
+  t -= time::millis(1);
+  EXPECT_EQ(t, time::millis(2));
+}
+
+// --------------------------------------------------------------- Units --
+
+TEST(Units, ByteFactoriesAndConversions) {
+  EXPECT_EQ(units::kilobytes(2).count(), 2'000);
+  EXPECT_EQ(units::megabytes(1).count(), 1'000'000);
+  EXPECT_EQ(units::gigabytes(1).count(), 1'000'000'000);
+  EXPECT_EQ(Bytes{10}.bits(), 80);
+  EXPECT_DOUBLE_EQ(units::megabytes(1500).gigabytes(), 1.5);
+  EXPECT_DOUBLE_EQ(units::gigabytes(2500).terabytes(), 2.5);
+}
+
+TEST(Units, TransmitTime) {
+  // 1250 bytes = 10000 bits at 10 Mbps = 1 ms.
+  EXPECT_EQ(transmit_time(Bytes{1250}, RateMbps{10.0}), time::millis(1));
+  // Zero rate: never completes.
+  EXPECT_EQ(transmit_time(Bytes{1}, RateMbps{0.0}), time::kForever);
+}
+
+TEST(Units, RateComparisonAndScaling) {
+  EXPECT_LT(RateMbps{10.0}, RateMbps{20.0});
+  EXPECT_DOUBLE_EQ((RateMbps{10.0} * 2.0).mbps(), 20.0);
+  EXPECT_DOUBLE_EQ((RateMbps{10.0} + RateMbps{5.0}).mbps(), 15.0);
+  EXPECT_DOUBLE_EQ(RateMbps{1.0}.bits_per_sec(), 1e6);
+  EXPECT_FALSE(RateMbps{0.0}.positive());
+}
+
+// ----------------------------------------------------------------- Ids --
+
+TEST(Ids, DefaultIsInvalid) {
+  EXPECT_FALSE(ApId{}.valid());
+  EXPECT_TRUE(ApId{0}.valid());
+}
+
+TEST(Ids, EqualityAndOrdering) {
+  EXPECT_EQ(ApId{3}, ApId{3});
+  EXPECT_NE(ApId{3}, ApId{4});
+  EXPECT_LT(ApId{3}, ApId{4});
+}
+
+TEST(Ids, HashWorksInUnorderedContainers) {
+  std::unordered_map<FlowId, int> m;
+  m[FlowId{1}] = 10;
+  m[FlowId{2}] = 20;
+  EXPECT_EQ(m.at(FlowId{1}), 10);
+  EXPECT_EQ(m.at(FlowId{2}), 20);
+}
+
+// --------------------------------------------------------------- Check --
+
+TEST(Check, ThrowsLogicErrorWithContext) {
+  EXPECT_THROW(W11_CHECK(false), std::logic_error);
+  EXPECT_NO_THROW(W11_CHECK(true));
+  try {
+    W11_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+// -------------------------------------------------------- RunningStats --
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+// ------------------------------------------------------------- Samples --
+
+TEST(Samples, QuantilesInterpolate) {
+  Samples s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 2.0);
+}
+
+TEST(Samples, SingleElement) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.9), 42.0);
+}
+
+TEST(Samples, EmptyQuantileThrows) {
+  Samples s;
+  EXPECT_THROW(s.median(), std::logic_error);
+}
+
+TEST(Samples, CdfAt) {
+  Samples s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(Samples, CdfSeriesIsMonotone) {
+  Samples s;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) s.add(rng.normal(0, 1));
+  const auto cdf = s.cdf(20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+TEST(Samples, MeanMatchesRunningStats) {
+  Samples s;
+  RunningStats r;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 100);
+    s.add(x);
+    r.add(x);
+  }
+  EXPECT_NEAR(s.mean(), r.mean(), 1e-9);
+}
+
+// Property sweep: quantiles must match a brute-force order statistic.
+class SamplesQuantileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplesQuantileSweep, MatchesSortedReference) {
+  Rng rng(GetParam());
+  Samples s;
+  std::vector<double> ref;
+  const int n = 50 + GetParam() * 37;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-1000, 1000);
+    s.add(x);
+    ref.push_back(x);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double pos = q * (n - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min<std::size_t>(lo + 1, ref.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    const double expected = ref[lo] * (1 - frac) + ref[hi] * frac;
+    EXPECT_NEAR(s.quantile(q), expected, 1e-9) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplesQuantileSweep, ::testing::Range(1, 9));
+
+// ----------------------------------------------------------- Histogram --
+
+TEST(Histogram, BinningAndFractions) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.9, 9.9}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);  // 0.5, 1.5
+  EXPECT_EQ(h.count(1), 2u);  // 2.5, 2.9
+  EXPECT_EQ(h.count(4), 1u);  // 9.9
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(15.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::logic_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+// ---------------------------------------------------------------- Jain --
+
+TEST(Jain, PerfectFairnessIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(Jain, KnownValue) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_NEAR(jain_fairness({1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Jain, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+  // One user hogging everything among n: index -> 1/n.
+  EXPECT_NEAR(jain_fairness({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+// ----------------------------------------------------------------- Rng --
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  const std::vector<double> w = {0.0, 1.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10'000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 10'000.0, 0.9, 0.03);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(5);
+  const std::vector<double> w = {0.0, 0.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) ++counts[rng.weighted_index(w)];
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  Rng b(42);
+  (void)b.fork();
+  // Parent streams stay in sync after forking.
+  EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+  // Child differs from a fresh seed-42 generator.
+  Rng fresh(42);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    any_diff |= child.uniform_int(0, 1 << 30) != fresh.uniform_int(0, 1 << 30);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+// -------------------------------------------------------- TablePrinter --
+
+TEST(TablePrinter, AlignsAndPrintsRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row("alpha", 1.5);
+  t.add_row("b", std::string("xyz"));
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.500"), std::string::npos);
+  EXPECT_NE(out.find("xyz"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace w11

@@ -1,0 +1,355 @@
+// Unit tests for the flow-level network model.
+
+#include <gtest/gtest.h>
+
+#include "core/turboca/service.hpp"
+#include "flowsim/network.hpp"
+#include "workload/topology.hpp"
+
+namespace w11 {
+namespace {
+
+using flowsim::Network;
+
+constexpr Channel ch36{Band::G5, 36, ChannelWidth::MHz20};
+constexpr Channel ch149{Band::G5, 149, ChannelWidth::MHz20};
+constexpr Channel ch42_80{Band::G5, 42, ChannelWidth::MHz80};
+constexpr Channel ch52{Band::G5, 52, ChannelWidth::MHz20};  // DFS
+
+Network::Config quiet_config() {
+  Network::Config cfg;
+  cfg.prop.shadowing_sigma = 0.0;
+  return cfg;
+}
+
+ClientCapability ac2ss() {
+  return ClientCapability{WifiStandard::k80211ac, true, ChannelWidth::MHz80, 2,
+                          true, true};
+}
+
+TEST(Flowsim, LoneApMeetsModestDemand) {
+  Network net(quiet_config());
+  const ApId ap = net.add_ap({0, 0}, ChannelWidth::MHz80, ch42_80);
+  for (int i = 0; i < 5; ++i)
+    net.add_client(ap, {5.0 + i, 0}, ac2ss(), 10.0);
+  const auto ev = net.evaluate();
+  EXPECT_NEAR(ev.total_offered_mbps, 50.0, 1e-6);
+  EXPECT_NEAR(ev.total_throughput_mbps, 50.0, 1.0);
+  EXPECT_LT(ev.per_ap[0].utilization, 0.5);
+  EXPECT_GT(ev.per_ap[0].mean_phy_rate_mbps, 400.0);
+}
+
+TEST(Flowsim, CochannelNeighborsShareAirtime) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz20, ch36);
+  const ApId b = net.add_ap({20, 0}, ChannelWidth::MHz20, ch36);
+  // Both demand more than half the medium.
+  for (int i = 0; i < 4; ++i) {
+    net.add_client(a, {2.0 + i, 0}, ac2ss(), 30.0);
+    net.add_client(b, {22.0 + i, 0}, ac2ss(), 30.0);
+  }
+  const auto ev = net.evaluate();
+  // Each is throttled below demand...
+  EXPECT_LT(ev.of(a).throughput_mbps, ev.of(a).offered_mbps);
+  // ...roughly fairly (§5.6.3).
+  EXPECT_NEAR(ev.of(a).airtime_share, ev.of(b).airtime_share, 0.15);
+  EXPECT_EQ(ev.of(a).cochannel_interferers, 1);
+  // Separating the channels releases the pressure.
+  net.apply_plan({{b, ch149}});
+  const auto ev2 = net.evaluate();
+  EXPECT_GT(ev2.total_throughput_mbps, ev.total_throughput_mbps * 1.2);
+  EXPECT_EQ(ev2.of(a).cochannel_interferers, 0);
+}
+
+TEST(Flowsim, ExternalInterfererStealsAirtime) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz20, ch36);
+  for (int i = 0; i < 4; ++i) net.add_client(a, {3.0 + i, 0}, ac2ss(), 40.0);
+  const double clean = net.evaluate().of(a).throughput_mbps;
+  flowsim::ExternalInterferer intf;
+  intf.pos = {5, 5};
+  intf.channel = ch36;
+  intf.duty_cycle = 0.6;
+  net.add_interferer(intf);
+  const double dirty = net.evaluate().of(a).throughput_mbps;
+  EXPECT_LT(dirty, clean);
+}
+
+TEST(Flowsim, UplinkCapScalesThroughputDown) {
+  auto cfg = quiet_config();
+  cfg.uplink_capacity = RateMbps{30.0};
+  Network net(cfg);
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch42_80);
+  for (int i = 0; i < 5; ++i) net.add_client(a, {4.0 + i, 0}, ac2ss(), 20.0);
+  const auto ev = net.evaluate();
+  EXPECT_NEAR(ev.total_throughput_mbps, 30.0, 1e-6);
+}
+
+TEST(Flowsim, UtilizationBounded) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz20, ch36);
+  const ApId b = net.add_ap({10, 0}, ChannelWidth::MHz20, ch36);
+  for (int i = 0; i < 10; ++i) {
+    net.add_client(a, {1.0 + i, 0}, ac2ss(), 100.0);
+    net.add_client(b, {11.0 + i, 0}, ac2ss(), 100.0);
+  }
+  for (const auto& m : net.evaluate().per_ap) {
+    EXPECT_GE(m.utilization, 0.0);
+    EXPECT_LE(m.utilization, 1.0);
+    EXPECT_GE(m.airtime_share, 0.0);
+    EXPECT_LE(m.airtime_share, 1.0);
+  }
+}
+
+TEST(Flowsim, EfficiencyWithinUnitInterval) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch42_80);
+  net.add_client(a, {3, 0}, ac2ss(), 5.0);
+  net.add_client(a, {60, 0}, ac2ss(), 5.0);
+  const auto ev = net.evaluate();
+  for (double e : ev.of(a).client_efficiency) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+  // The distant client is less efficient.
+  EXPECT_LT(ev.of(a).client_efficiency[1], ev.of(a).client_efficiency[0]);
+}
+
+TEST(Flowsim, EfficiencyIsWidthNeutralButInterferenceSensitive) {
+  // The §4.6.2 metric normalizes by the association's max rate at the
+  // *operating* width, so re-planning to a narrow channel does not by
+  // itself tank efficiency — but external interference on the channel does
+  // (lower SINR -> lower MCS at the same width).
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch42_80);
+  net.add_client(a, {20, 0}, ac2ss(), 5.0);
+  const double wide = net.evaluate().of(a).mean_bitrate_efficiency;
+  net.apply_plan({{a, ch36}});
+  const double narrow = net.evaluate().of(a).mean_bitrate_efficiency;
+  // Same ballpark — no 4x capability cliff. (Narrow runs a little closer
+  // to its ceiling: lower noise floor at the same distance.)
+  EXPECT_NEAR(wide, narrow, 0.45);
+
+  // Park a strong interferer out of CS range but near the client's channel:
+  // efficiency drops at unchanged width.
+  flowsim::ExternalInterferer intf;
+  intf.pos = {120, 0};
+  intf.channel = ch36;
+  intf.duty_cycle = 0.9;
+  net.add_interferer(intf);
+  const double interfered = net.evaluate().of(a).mean_bitrate_efficiency;
+  EXPECT_LT(interfered, narrow);
+}
+
+TEST(Flowsim, ApplyPlanCountsSwitches) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch36);
+  const ApId b = net.add_ap({50, 0}, ChannelWidth::MHz80, ch36);
+  EXPECT_EQ(net.apply_plan({{a, ch149}, {b, ch36}}), 1);  // b unchanged
+  EXPECT_EQ(net.total_switches(), 1);
+  EXPECT_EQ(net.current_plan().at(a), ch149);
+}
+
+TEST(Flowsim, RadarEventVacatesDfsChannel) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch36);
+  net.apply_plan({{a, ch52}});
+  EXPECT_TRUE(net.aps()[0].channel.is_dfs());
+  net.radar_event(a);
+  EXPECT_FALSE(net.aps()[0].channel.is_dfs());
+  // Radar on a non-DFS channel is a no-op.
+  const Channel before = net.aps()[0].channel;
+  net.radar_event(a);
+  EXPECT_EQ(net.aps()[0].channel, before);
+}
+
+TEST(Flowsim, ScanReportsNeighborsAndLoads) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch36);
+  const ApId b = net.add_ap({15, 0}, ChannelWidth::MHz80, ch149);
+  const ApId far = net.add_ap({5000, 0}, ChannelWidth::MHz80, ch36);
+  ClientCapability narrow = ac2ss();
+  narrow.max_width = ChannelWidth::MHz40;
+  net.add_client(a, {2, 0}, ac2ss(), 4.0);
+  net.add_client(a, {3, 0}, narrow, 2.0);
+
+  const auto scans = net.scan();
+  ASSERT_EQ(scans.size(), 3u);
+  const ApScan& sa = scans[0];
+  EXPECT_EQ(sa.id, a);
+  ASSERT_EQ(sa.neighbors.size(), 1u);  // only b is in range
+  EXPECT_EQ(sa.neighbors[0].id, b);
+  EXPECT_TRUE(sa.has_clients);
+  EXPECT_GT(sa.load_by_width.at(ChannelWidth::MHz80), 0.0);
+  EXPECT_GT(sa.load_by_width.at(ChannelWidth::MHz40), 0.0);
+  EXPECT_FALSE(scans[2].has_clients);
+  (void)far;
+}
+
+TEST(Flowsim, ScanSeesExternalUtilization) {
+  Network net(quiet_config());
+  net.add_ap({0, 0}, ChannelWidth::MHz80, ch36);
+  flowsim::ExternalInterferer intf;
+  intf.pos = {3, 0};
+  intf.channel = ch149;
+  intf.duty_cycle = 0.4;
+  net.add_interferer(intf);
+  const auto scans = net.scan();
+  ASSERT_EQ(scans.size(), 1u);
+  EXPECT_NEAR(scans[0].external_util.at(149), 0.4, 1e-9);
+  EXPECT_LT(scans[0].quality.at(149), 1.0);
+  EXPECT_FALSE(scans[0].external_util.contains(36));
+}
+
+TEST(Flowsim, IdleClientsDontCountForDfsRule) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch36);
+  net.add_client(a, {2, 0}, ac2ss(), 3.0);
+  EXPECT_TRUE(net.scan()[0].has_clients);
+  net.set_client_load(a, 0.0);  // overnight
+  EXPECT_FALSE(net.scan()[0].has_clients);
+}
+
+TEST(Flowsim, LatencySamplesGrowWithContention) {
+  auto median_latency = [](int n_aps) {
+    Network net(Network::Config{});
+    for (int i = 0; i < n_aps; ++i) {
+      const ApId a = net.add_ap({static_cast<double>(5 * i), 0},
+                                ChannelWidth::MHz20, ch36);
+      for (int c = 0; c < 5; ++c)
+        net.add_client(a, {5.0 * i + 1 + c, 0}, ac2ss(), 8.0);
+    }
+    Network::Config cfg;
+    auto ev = net.evaluate();
+    auto s = net.sample_tcp_latency(ev, 200, 0.0);
+    return s.median();
+  };
+  EXPECT_GT(median_latency(8), median_latency(1) * 1.5);
+}
+
+TEST(Flowsim, SlowClientTailInjection) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch42_80);
+  net.add_client(a, {3, 0}, ac2ss(), 5.0);
+  auto ev = net.evaluate();
+  auto s = net.sample_tcp_latency(ev, 5000, 0.05);
+  // ~5 % of samples land in the >=400 ms unresponsive-client tail.
+  EXPECT_NEAR(1.0 - s.cdf_at(399.9), 0.05, 0.02);
+}
+
+TEST(Flowsim, RssiSamplesLookSane) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch42_80);
+  for (int i = 0; i < 20; ++i)
+    net.add_client(a, {2.0 + i * 2, 0}, ac2ss(), 1.0);
+  const auto rssi = net.sample_client_rssi();
+  EXPECT_EQ(rssi.count(), 20u);
+  EXPECT_LT(rssi.max(), -20.0);
+  EXPECT_GT(rssi.min(), -100.0);
+}
+
+TEST(Flowsim, ScaleOfferedLoadMultiplies) {
+  Network net(quiet_config());
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch42_80);
+  net.add_client(a, {3, 0}, ac2ss(), 10.0);
+  net.scale_offered_load(0.5);
+  EXPECT_NEAR(net.evaluate().total_offered_mbps, 5.0, 1e-9);
+}
+
+TEST(Flowsim, EvaluationIsDeterministic) {
+  auto run = [] {
+    Network net(quiet_config());
+    const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80, ch42_80);
+    for (int i = 0; i < 6; ++i)
+      net.add_client(a, {3.0 + i, 0}, ac2ss(), 7.0);
+    return net.evaluate().total_throughput_mbps;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Flowsim, HiddenInterferenceDegradesRate) {
+  // A co-channel AP out of CS range doesn't serialize, it interferes: the
+  // victim's clients see lower SINR and thus lower PHY rates.
+  auto mean_rate = [](double dist) {
+    Network net(quiet_config());
+    const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz20, ch36);
+    // Clients at 25 m: SNR in the MCS-sensitive region, not saturated.
+    for (int c = 0; c < 3; ++c) net.add_client(a, {25.0 + c, 0}, ac2ss(), 20.0);
+    const ApId b = net.add_ap({dist, 0}, ChannelWidth::MHz20, ch36);
+    for (int c = 0; c < 3; ++c)
+      net.add_client(b, {dist + 2.0 + c, 0}, ac2ss(), 20.0);
+    return net.evaluate().of(a).mean_phy_rate_mbps;
+  };
+  // 80 m: just outside CS range (~71 m at the default model) but radiating
+  // strongly, vs 10 km: negligible.
+  EXPECT_LT(mean_rate(80.0), mean_rate(10'000.0));
+}
+
+}  // namespace
+}  // namespace w11
+
+namespace w11 {
+namespace {
+
+TEST(Flowsim, ScanNoisePerturbsUtilizationEstimates) {
+  flowsim::Network::Config cfg;
+  cfg.prop.shadowing_sigma = 0.0;
+  cfg.scan_noise_sigma = 0.1;
+  flowsim::Network net(cfg);
+  const ApId a = net.add_ap({0, 0}, ChannelWidth::MHz80,
+                            {Band::G5, 36, ChannelWidth::MHz20});
+  flowsim::ExternalInterferer intf;
+  intf.pos = {3, 0};
+  intf.channel = {Band::G5, 149, ChannelWidth::MHz20};
+  intf.duty_cycle = 0.4;
+  net.add_interferer(intf);
+  (void)a;
+
+  // Two consecutive scans disagree (independent samples) but stay bounded.
+  const double u1 = net.scan()[0].external_util.at(149);
+  const double u2 = net.scan()[0].external_util.at(149);
+  EXPECT_NE(u1, u2);
+  for (double u : {u1, u2}) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    EXPECT_NEAR(u, 0.4, 0.4);  // centred on the true duty
+  }
+}
+
+TEST(Flowsim, TurboCaRobustToModerateScanNoise) {
+  // Plans built from noisy scans must still clearly beat the unplanned
+  // network — the algorithm degrades gracefully, it does not flip.
+  auto throughput_after_planning = [](double noise) {
+    workload::CampusConfig cc;
+    cc.n_aps = 30;
+    cc.seed = 91;
+    auto net = workload::make_campus(cc);
+    // (make_campus leaves everyone on ch36/20MHz)
+    const double before = net->evaluate().total_throughput_mbps;
+    flowsim::Network::Config patched = net->config();
+    (void)patched;  // scan noise is set at construction; emulate by
+                    // re-planning through noisy hooks below
+    turboca::NetworkHooks h;
+    h.scan = [&net, noise] {
+      auto scans = net->scan();
+      Rng jitter(17);
+      if (noise > 0.0) {
+        for (auto& s : scans)
+          for (auto& [comp, u] : s.external_util)
+            u = std::clamp(u + jitter.normal(0.0, noise), 0.0, 1.0);
+      }
+      return scans;
+    };
+    h.current_plan = [&net] { return net->current_plan(); };
+    h.apply_plan = [&net](const ChannelPlan& p) { net->apply_plan(p); };
+    turboca::TurboCaService svc({}, {}, h, Rng(5));
+    svc.run_now({1, 0});
+    const double after = net->evaluate().total_throughput_mbps;
+    return after / before;
+  };
+  EXPECT_GT(throughput_after_planning(0.0), 1.5);
+  EXPECT_GT(throughput_after_planning(0.15), 1.5);
+}
+
+}  // namespace
+}  // namespace w11

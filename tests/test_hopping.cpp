@@ -1,0 +1,90 @@
+// Tests for the channel-hopping baseline (§4.2 category iii).
+
+#include <gtest/gtest.h>
+
+#include "core/turboca/hopping.hpp"
+#include "workload/topology.hpp"
+
+namespace w11 {
+namespace {
+
+turboca::NetworkHooks hooks_for(flowsim::Network& net) {
+  turboca::NetworkHooks h;
+  h.scan = [&net] { return net.scan(); };
+  h.current_plan = [&net] { return net.current_plan(); };
+  h.apply_plan = [&net](const ChannelPlan& p) { net.apply_plan(p); };
+  return h;
+}
+
+std::unique_ptr<flowsim::Network> small_campus(std::uint64_t seed) {
+  workload::CampusConfig cc;
+  cc.n_aps = 12;
+  cc.seed = seed;
+  return workload::make_campus(cc);
+}
+
+TEST(Hopping, HopsEveryPeriodAndOnlyThen) {
+  auto net = small_campus(3);
+  turboca::HoppingCaService svc({}, hooks_for(*net), Rng(5));
+  svc.advance_to(Time{0});
+  EXPECT_EQ(svc.stats().hops_executed, 1);  // first call hops immediately
+  svc.advance_to(time::minutes(10));
+  EXPECT_EQ(svc.stats().hops_executed, 1);  // period not elapsed
+  svc.advance_to(time::minutes(15));
+  EXPECT_EQ(svc.stats().hops_executed, 2);
+  svc.advance_to(time::minutes(29));
+  EXPECT_EQ(svc.stats().hops_executed, 2);
+  svc.advance_to(time::minutes(31));
+  EXPECT_EQ(svc.stats().hops_executed, 3);
+}
+
+TEST(Hopping, SequencesAreDeterministicPerSeedAndCycle) {
+  auto run = [](std::uint64_t seed) {
+    auto net = small_campus(7);
+    turboca::HoppingCaService::Config cfg;
+    cfg.sequence_length = 3;
+    turboca::HoppingCaService svc(cfg, hooks_for(*net), Rng(seed));
+    std::vector<ChannelPlan> plans;
+    for (int i = 0; i < 4; ++i) {
+      svc.hop_now();
+      plans.push_back(net->current_plan());
+    }
+    return plans;
+  };
+  const auto a = run(11);
+  const auto b = run(11);
+  EXPECT_EQ(a, b);  // deterministic
+  // Sequence length 3: the 4th hop revisits the 1st hop's channels.
+  EXPECT_EQ(a[0], a[3]);
+  EXPECT_NE(a[0], a[1]);
+}
+
+TEST(Hopping, RespectsWidthAndDfsConstraints) {
+  auto net = small_campus(9);
+  turboca::HoppingCaService::Config cfg;
+  cfg.width = ChannelWidth::MHz40;
+  cfg.allow_dfs = false;
+  turboca::HoppingCaService svc(cfg, hooks_for(*net), Rng(13));
+  for (int i = 0; i < 5; ++i) {
+    svc.hop_now();
+    for (const auto& ap : net->aps()) {
+      EXPECT_EQ(ap.channel.width, ChannelWidth::MHz40);
+      EXPECT_FALSE(ap.channel.is_dfs());
+    }
+  }
+}
+
+TEST(Hopping, ChurnsFarMoreThanItHasTo) {
+  // The §4.2 critique in miniature: every period nearly every AP switches.
+  auto net = small_campus(15);
+  turboca::HoppingCaService svc({}, hooks_for(*net), Rng(17));
+  svc.hop_now();
+  const int after_first = net->total_switches();
+  svc.hop_now();
+  svc.hop_now();
+  const int per_hop = (net->total_switches() - after_first) / 2;
+  EXPECT_GT(per_hop, static_cast<int>(net->ap_count()) / 2);
+}
+
+}  // namespace
+}  // namespace w11

@@ -1,0 +1,124 @@
+// Roaming tests (§5.5.4): clients moving between APs mid-flow, with and
+// without FastACK state transfer.
+
+#include <gtest/gtest.h>
+
+#include "scenario/testbed.hpp"
+
+namespace w11 {
+namespace {
+
+TEST(Roaming, BaselineFlowSurvivesRoam) {
+  scenario::TestbedConfig cfg;
+  cfg.n_aps = 2;
+  cfg.n_clients_per_ap = 2;
+  cfg.duration = time::seconds(4);
+  cfg.warmup = time::millis(1);
+  cfg.seed = 7;
+  scenario::Testbed tb(cfg);
+
+  tb.simulator().schedule_at(time::seconds(2),
+                             [&] { tb.roam(/*from=*/0, /*client=*/0, /*to=*/1); });
+  std::uint64_t bytes_at_roam = 0;
+  tb.simulator().schedule_at(time::seconds(2), [&] {
+    bytes_at_roam = tb.client(0, 0).bytes_delivered();
+  });
+  tb.run();
+
+  // The roamed client kept receiving after the move (TCP recovers the
+  // frames dropped from the roam-from AP's queue end to end).
+  EXPECT_GT(tb.client(0, 0).bytes_delivered(), bytes_at_roam + 500'000u);
+  const auto* rx = tb.client(0, 0).receiver(FlowId{0});
+  ASSERT_NE(rx, nullptr);
+  EXPECT_EQ(rx->stats().window_overflow_drops, 0u);
+}
+
+TEST(Roaming, FastAckStateTransfersToRoamToAp) {
+  scenario::TestbedConfig cfg;
+  cfg.n_aps = 2;
+  cfg.n_clients_per_ap = 2;
+  cfg.duration = time::seconds(4);
+  cfg.warmup = time::millis(1);
+  cfg.fastack = {true, true};
+  cfg.seed = 9;
+  scenario::Testbed tb(cfg);
+
+  tb.simulator().schedule_at(time::seconds(2), [&] {
+    ASSERT_NE(tb.agent(0)->flow_state(FlowId{0}), nullptr);
+    const std::uint64_t fack_before = tb.agent(0)->flow_state(FlowId{0})->seq_fack;
+    tb.roam(0, 0, 1);
+    // State left AP0's agent and arrived at AP1's, cache and sequence
+    // cursors intact.
+    EXPECT_EQ(tb.agent(0)->flow_state(FlowId{0}), nullptr);
+    const auto* moved = tb.agent(1)->flow_state(FlowId{0});
+    ASSERT_NE(moved, nullptr);
+    EXPECT_EQ(moved->seq_fack, fack_before);
+    EXPECT_TRUE(moved->q_seq.empty());  // air-pending ranges do not travel
+  });
+  tb.run();
+
+  // The flow kept running on the new AP, still fast-acked.
+  const auto* rx = tb.client(0, 0).receiver(FlowId{0});
+  ASSERT_NE(rx, nullptr);
+  EXPECT_GT(rx->bytes_delivered(), 2'000'000u);
+  EXPECT_GT(tb.agent(1)->stats().fast_acks_sent, 0u);
+}
+
+TEST(Roaming, RoamedFlowStillReachesCwndCap) {
+  scenario::TestbedConfig cfg;
+  cfg.n_aps = 2;
+  cfg.n_clients_per_ap = 1;
+  cfg.duration = time::seconds(5);
+  cfg.warmup = time::millis(1);
+  cfg.fastack = {true, true};
+  cfg.seed = 13;
+  scenario::Testbed tb(cfg);
+  tb.simulator().schedule_at(time::seconds(2), [&] { tb.roam(0, 0, 1); });
+  tb.run();
+  // Post-roam the window regrows in congestion avoidance; 3 s is enough to
+  // be healthy again, not to re-pin at the 770 cap.
+  EXPECT_GT(tb.sender(0, 0).cwnd_segments(), 100.0);
+  EXPECT_GT(tb.client(0, 0).bytes_delivered(), 2'000'000u);
+}
+
+TEST(Roaming, DisassociateDropsQueuedFramesSafely) {
+  // Direct AP-level check: disassociation with a deep queue must not break
+  // subsequent TXOPs for other clients.
+  scenario::TestbedConfig cfg;
+  cfg.n_aps = 2;
+  cfg.n_clients_per_ap = 3;
+  cfg.duration = time::seconds(3);
+  cfg.warmup = time::millis(1);
+  cfg.seed = 21;
+  scenario::Testbed tb(cfg);
+  tb.simulator().schedule_at(time::millis(500), [&] { tb.roam(0, 1, 1); });
+  tb.run();
+  // Remaining AP0 clients are unaffected and keep flowing.
+  EXPECT_GT(tb.client(0, 0).bytes_delivered(), 500'000u);
+  EXPECT_GT(tb.client(0, 2).bytes_delivered(), 500'000u);
+  // The roamer keeps flowing on AP1.
+  EXPECT_GT(tb.client(0, 1).bytes_delivered(), 500'000u);
+}
+
+TEST(Roaming, RoamBackAndForth) {
+  scenario::TestbedConfig cfg;
+  cfg.n_aps = 2;
+  cfg.n_clients_per_ap = 1;
+  cfg.duration = time::seconds(6);
+  cfg.warmup = time::millis(1);
+  cfg.fastack = {true, true};
+  cfg.seed = 31;
+  scenario::Testbed tb(cfg);
+  tb.simulator().schedule_at(time::seconds(2), [&] { tb.roam(0, 0, 1); });
+  tb.simulator().schedule_at(time::seconds(4), [&] { tb.roam(0, 0, 0); });
+  tb.run();
+  const auto* rx = tb.client(0, 0).receiver(FlowId{0});
+  ASSERT_NE(rx, nullptr);
+  EXPECT_GT(rx->bytes_delivered(), 3'000'000u);
+  // State ended up back at AP0.
+  EXPECT_NE(tb.agent(0)->flow_state(FlowId{0}), nullptr);
+  EXPECT_EQ(tb.agent(1)->flow_state(FlowId{0}), nullptr);
+}
+
+}  // namespace
+}  // namespace w11

@@ -1,0 +1,155 @@
+// Tests for the scenario::Testbed harness itself — the rig every FastACK
+// figure stands on, so its accounting must be trustworthy.
+
+#include <gtest/gtest.h>
+
+#include "scenario/testbed.hpp"
+
+namespace w11 {
+namespace {
+
+using scenario::TcpAccel;
+using scenario::Testbed;
+using scenario::TestbedConfig;
+
+TEST(Testbed, ThroughputExcludesWarmupBytes) {
+  // Identical runs, different warmups: the longer-warmup run measures a
+  // later window and must not double-count earlier bytes.
+  auto bytes_measured = [](Time warmup) {
+    TestbedConfig cfg;
+    cfg.n_clients_per_ap = 2;
+    cfg.duration = time::seconds(2);
+    cfg.warmup = warmup;
+    cfg.seed = 3;
+    Testbed tb(cfg);
+    tb.run();
+    return tb.aggregate_throughput_mbps();
+  };
+  const double with_warmup = bytes_measured(time::seconds(2));
+  const double without = bytes_measured(time::millis(1));
+  // Slow start lives inside the no-warmup window: steady-state (warmed)
+  // throughput must be at least as high.
+  EXPECT_GT(with_warmup, without * 0.95);
+}
+
+TEST(Testbed, RunTwiceRejected) {
+  TestbedConfig cfg;
+  cfg.n_clients_per_ap = 1;
+  cfg.duration = time::millis(50);
+  cfg.warmup = time::millis(1);
+  Testbed tb(cfg);
+  tb.run();
+  EXPECT_THROW(tb.run(), std::logic_error);
+}
+
+TEST(Testbed, ResultsBeforeRunRejected) {
+  TestbedConfig cfg;
+  cfg.n_clients_per_ap = 1;
+  Testbed tb(cfg);
+  EXPECT_THROW((void)tb.aggregate_throughput_mbps(), std::logic_error);
+}
+
+TEST(Testbed, SymmetricCellsGiveEqualLinkBudgets) {
+  TestbedConfig cfg;
+  cfg.n_aps = 2;
+  cfg.n_clients_per_ap = 4;
+  cfg.symmetric_cells = true;
+  cfg.prop.shadowing_sigma = 0.0;
+  cfg.duration = time::millis(50);
+  cfg.warmup = time::millis(1);
+  Testbed tb(cfg);
+  tb.run();
+  for (int c = 0; c < 4; ++c) {
+    const auto* rc0 = tb.ap(0).rate_controller(tb.client(0, c).id());
+    const auto* rc1 = tb.ap(1).rate_controller(tb.client(1, c).id());
+    ASSERT_NE(rc0, nullptr);
+    ASSERT_NE(rc1, nullptr);
+    EXPECT_NEAR(rc0->mean_snr(), rc1->mean_snr(), 1e-9) << "client " << c;
+  }
+}
+
+TEST(Testbed, PerClientThroughputVectorIsApMajor) {
+  TestbedConfig cfg;
+  cfg.n_aps = 2;
+  cfg.n_clients_per_ap = 3;
+  cfg.duration = time::seconds(1);
+  cfg.warmup = time::millis(1);
+  Testbed tb(cfg);
+  tb.run();
+  const auto v = tb.per_client_throughput_mbps();
+  ASSERT_EQ(v.size(), 6u);
+  double sum = 0;
+  for (double x : v) sum += x;
+  EXPECT_NEAR(sum, tb.aggregate_throughput_mbps(), 1e-9);
+  EXPECT_NEAR(tb.ap_throughput_mbps(0) + tb.ap_throughput_mbps(1), sum, 1e-9);
+}
+
+TEST(Testbed, MixedAccelVectorAppliesPerAp) {
+  TestbedConfig cfg;
+  cfg.n_aps = 3;
+  cfg.n_clients_per_ap = 1;
+  cfg.accel = {TcpAccel::kNone, TcpAccel::kSnoop, TcpAccel::kFastAck};
+  cfg.duration = time::millis(400);
+  cfg.warmup = time::millis(1);
+  Testbed tb(cfg);
+  tb.run();
+  EXPECT_EQ(tb.agent(0), nullptr);
+  EXPECT_EQ(tb.snoop_agent(0), nullptr);
+  EXPECT_EQ(tb.agent(1), nullptr);
+  ASSERT_NE(tb.snoop_agent(1), nullptr);
+  ASSERT_NE(tb.agent(2), nullptr);
+  EXPECT_EQ(tb.snoop_agent(2), nullptr);
+  EXPECT_GT(tb.agent(2)->stats().fast_acks_sent, 0u);
+}
+
+TEST(Testbed, SingleEntryAccelAppliesToAllAps) {
+  TestbedConfig cfg;
+  cfg.n_aps = 2;
+  cfg.n_clients_per_ap = 1;
+  cfg.accel = {TcpAccel::kFastAck};
+  cfg.duration = time::millis(200);
+  cfg.warmup = time::millis(1);
+  Testbed tb(cfg);
+  tb.run();
+  EXPECT_NE(tb.agent(0), nullptr);
+  EXPECT_NE(tb.agent(1), nullptr);
+}
+
+TEST(Testbed, DscpHookMarksEveryFlow) {
+  TestbedConfig cfg;
+  cfg.n_clients_per_ap = 2;
+  cfg.dscp_of = [](int c) { return c == 0 ? 46 : 8; };
+  cfg.duration = time::millis(400);
+  cfg.warmup = time::millis(1);
+  Testbed tb(cfg);
+  tb.run();
+  const auto& st = tb.ap(0).stats();
+  EXPECT_GT(st.mpdus_acked_by_ac[static_cast<int>(AccessCategory::VO)], 0u);
+  EXPECT_GT(st.mpdus_acked_by_ac[static_cast<int>(AccessCategory::BK)], 0u);
+}
+
+TEST(Testbed, UdpModeHasNoSenders) {
+  TestbedConfig cfg;
+  cfg.n_clients_per_ap = 1;
+  cfg.traffic = scenario::TrafficType::kUdpDownlink;
+  cfg.duration = time::millis(200);
+  cfg.warmup = time::millis(1);
+  Testbed tb(cfg);
+  tb.run();
+  EXPECT_THROW((void)tb.sender(0, 0), std::logic_error);
+  EXPECT_GT(tb.client(0, 0).udp_bytes_received(), 0u);
+}
+
+TEST(Testbed, MediumStatisticsExposed) {
+  TestbedConfig cfg;
+  cfg.n_clients_per_ap = 4;
+  cfg.duration = time::seconds(1);
+  cfg.warmup = time::millis(1);
+  Testbed tb(cfg);
+  tb.run();
+  EXPECT_GT(tb.medium().txop_count(), 100u);
+  EXPECT_GT(tb.medium().total_busy_time(), time::millis(100));
+}
+
+}  // namespace
+}  // namespace w11

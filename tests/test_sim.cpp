@@ -1,0 +1,169 @@
+// Unit tests for the discrete-event engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace w11 {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time{0});
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(time::millis(3), [&] { order.push_back(3); });
+  sim.schedule_at(time::millis(1), [&] { order.push_back(1); });
+  sim.schedule_at(time::millis(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), time::millis(3));
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(time::millis(1), [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  Time fired{};
+  sim.schedule_at(time::millis(5), [&] {
+    sim.schedule_after(time::millis(2), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, time::millis(7));
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(time::millis(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(time::millis(5), [] {}), std::logic_error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.schedule_at(time::millis(1), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelAfterExecutionIsHarmless) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(time::millis(1), [] {});
+  sim.run();
+  h.cancel();  // no crash
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(time::millis(1), [&] { ++count; });
+  sim.schedule_at(time::millis(5), [&] { ++count; });
+  sim.schedule_at(time::millis(10), [&] { ++count; });
+  sim.run_until(time::millis(5));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), time::millis(5));
+  sim.run_until(time::millis(20));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), time::millis(20));  // clock reaches the horizon
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(time::millis(1), [&] { ++count; });
+  sim.schedule_at(time::millis(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, ProcessedEventsExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_at(time::millis(1), [] {});
+  EventHandle h = sim.schedule_at(time::millis(2), [] {});
+  h.cancel();
+  sim.run();
+  EXPECT_EQ(sim.processed_events(), 1u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(time::micros(1), recurse);
+  };
+  sim.schedule_at(Time{0}, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), time::micros(9));
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<Time> fires;
+  PeriodicTimer timer(sim, time::millis(10), [&] { fires.push_back(sim.now()); });
+  sim.run_until(time::millis(35));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], time::millis(10));
+  EXPECT_EQ(fires[1], time::millis(20));
+  EXPECT_EQ(fires[2], time::millis(30));
+}
+
+TEST(PeriodicTimer, FirstDelayDiffersFromPeriod) {
+  Simulator sim;
+  std::vector<Time> fires;
+  PeriodicTimer timer(sim, time::millis(1), time::millis(10),
+                      [&] { fires.push_back(sim.now()); });
+  sim.run_until(time::millis(22));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], time::millis(1));
+  EXPECT_EQ(fires[1], time::millis(11));
+  EXPECT_EQ(fires[2], time::millis(21));
+}
+
+TEST(PeriodicTimer, StopHalts) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer timer(sim, time::millis(10), [&] {
+    if (++count == 2) timer.stop();
+  });
+  sim.run_until(time::millis(100));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTimer, DestructionCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTimer timer(sim, time::millis(10), [&] { ++count; });
+  }
+  sim.run_until(time::millis(100));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(PeriodicTimer, ZeroPeriodRejected) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTimer(sim, Time{0}, [] {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace w11

@@ -1,0 +1,137 @@
+// Unit tests for the LittleTable time-series store and collector.
+
+#include <gtest/gtest.h>
+
+#include "flowsim/network.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/littletable.hpp"
+
+namespace w11 {
+namespace {
+
+using telemetry::LittleTable;
+
+LittleTable two_col() { return LittleTable("t", {"a", "b"}); }
+
+TEST(LittleTable, SchemaEnforced) {
+  EXPECT_THROW(LittleTable("bad", {}), std::logic_error);
+  auto t = two_col();
+  EXPECT_THROW(t.insert(0, Time{0}, {1.0}), std::logic_error);
+  EXPECT_THROW(t.insert(0, Time{0}, {1.0, 2.0, 3.0}), std::logic_error);
+  EXPECT_NO_THROW(t.insert(0, Time{0}, {1.0, 2.0}));
+}
+
+TEST(LittleTable, UnknownColumnThrows) {
+  auto t = two_col();
+  t.insert(0, Time{0}, {1.0, 2.0});
+  EXPECT_THROW(t.aggregate_scalar("zzz", LittleTable::Agg::kSum, Time{0}, Time{1}),
+               std::logic_error);
+}
+
+TEST(LittleTable, RangeQueryInclusive) {
+  auto t = two_col();
+  for (int i = 0; i < 10; ++i)
+    t.insert(0, time::seconds(i), {static_cast<double>(i), 0.0});
+  const auto rows = t.query(time::seconds(3), time::seconds(6));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows.front().values[0], 3.0);
+  EXPECT_EQ(rows.back().values[0], 6.0);
+}
+
+TEST(LittleTable, EntityFilter) {
+  auto t = two_col();
+  t.insert(1, time::seconds(1), {10.0, 0.0});
+  t.insert(2, time::seconds(1), {20.0, 0.0});
+  t.insert(1, time::seconds(2), {30.0, 0.0});
+  const auto rows = t.query(Time{0}, time::seconds(10), 1);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) EXPECT_EQ(r.entity, 1u);
+}
+
+TEST(LittleTable, OutOfOrderInsertsAreSorted) {
+  auto t = two_col();
+  t.insert(0, time::seconds(5), {5.0, 0.0});
+  t.insert(0, time::seconds(1), {1.0, 0.0});
+  t.insert(0, time::seconds(3), {3.0, 0.0});
+  const auto rows = t.query(Time{0}, time::seconds(10));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].values[0], 1.0);
+  EXPECT_EQ(rows[1].values[0], 3.0);
+  EXPECT_EQ(rows[2].values[0], 5.0);
+}
+
+TEST(LittleTable, Aggregations) {
+  auto t = two_col();
+  for (int i = 1; i <= 4; ++i)
+    t.insert(0, time::seconds(i), {static_cast<double>(i), 0.0});
+  const Time from = Time{0}, to = time::seconds(10);
+  EXPECT_DOUBLE_EQ(t.aggregate_scalar("a", LittleTable::Agg::kSum, from, to), 10.0);
+  EXPECT_DOUBLE_EQ(t.aggregate_scalar("a", LittleTable::Agg::kMean, from, to), 2.5);
+  EXPECT_DOUBLE_EQ(t.aggregate_scalar("a", LittleTable::Agg::kMin, from, to), 1.0);
+  EXPECT_DOUBLE_EQ(t.aggregate_scalar("a", LittleTable::Agg::kMax, from, to), 4.0);
+  EXPECT_DOUBLE_EQ(t.aggregate_scalar("a", LittleTable::Agg::kCount, from, to), 4.0);
+}
+
+TEST(LittleTable, BucketedAggregation) {
+  auto t = two_col();
+  // Two samples per 10-second bucket.
+  for (int i = 0; i < 6; ++i)
+    t.insert(0, time::seconds(i * 5), {1.0, 0.0});
+  const auto buckets = t.aggregate("a", LittleTable::Agg::kSum, Time{0},
+                                   time::seconds(30), time::seconds(10));
+  ASSERT_EQ(buckets.size(), 3u);
+  for (const auto& [start, v] : buckets) EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_EQ(buckets[1].first, time::seconds(10));
+}
+
+TEST(LittleTable, EmptyBucketsAreSkipped) {
+  auto t = two_col();
+  t.insert(0, time::seconds(0), {1.0, 0.0});
+  t.insert(0, time::seconds(25), {1.0, 0.0});
+  const auto buckets = t.aggregate("a", LittleTable::Agg::kCount, Time{0},
+                                   time::seconds(30), time::seconds(10));
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].first, Time{0});
+  EXPECT_EQ(buckets[1].first, time::seconds(20));
+}
+
+TEST(LittleTable, RetentionTrim) {
+  auto t = two_col();
+  for (int i = 0; i < 10; ++i)
+    t.insert(0, time::seconds(i), {static_cast<double>(i), 0.0});
+  t.trim_before(time::seconds(7));
+  EXPECT_EQ(t.row_count(), 3u);
+  const auto rows = t.query(Time{0}, time::seconds(100));
+  EXPECT_EQ(rows.front().values[0], 7.0);
+}
+
+TEST(LittleTable, AggregateOverEmptyRangeIsZero) {
+  auto t = two_col();
+  EXPECT_DOUBLE_EQ(
+      t.aggregate_scalar("a", LittleTable::Agg::kSum, Time{0}, time::seconds(5)),
+      0.0);
+}
+
+TEST(Collector, RecordsPerApAndNetworkRows) {
+  flowsim::Network::Config cfg;
+  cfg.prop.shadowing_sigma = 0.0;
+  flowsim::Network net(cfg);
+  const ApId a =
+      net.add_ap({0, 0}, ChannelWidth::MHz80, {Band::G5, 42, ChannelWidth::MHz80});
+  net.add_client(a, {3, 0},
+                 {WifiStandard::k80211ac, true, ChannelWidth::MHz80, 2, true, true},
+                 5.0);
+  telemetry::NetworkCollector col;
+  const auto ev = net.evaluate();
+  col.record(net, ev, time::minutes(1));
+  col.record(net, ev, time::minutes(2));
+  EXPECT_EQ(col.ap_stats().row_count(), 2u);
+  EXPECT_EQ(col.net_stats().row_count(), 2u);
+  const double thr = col.ap_stats().aggregate_scalar(
+      "throughput_mbps", telemetry::LittleTable::Agg::kMean, Time{0},
+      time::hours(1));
+  EXPECT_NEAR(thr, 5.0, 0.5);
+}
+
+}  // namespace
+}  // namespace w11
