@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_client_capabilities.dir/bench_fig01_client_capabilities.cpp.o"
+  "CMakeFiles/bench_fig01_client_capabilities.dir/bench_fig01_client_capabilities.cpp.o.d"
+  "bench_fig01_client_capabilities"
+  "bench_fig01_client_capabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_client_capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_ap_snapshot.dir/bench_fig06_ap_snapshot.cpp.o"
+  "CMakeFiles/bench_fig06_ap_snapshot.dir/bench_fig06_ap_snapshot.cpp.o.d"
+  "bench_fig06_ap_snapshot"
+  "bench_fig06_ap_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_ap_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

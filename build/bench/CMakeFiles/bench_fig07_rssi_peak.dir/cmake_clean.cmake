@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_rssi_peak.dir/bench_fig07_rssi_peak.cpp.o"
+  "CMakeFiles/bench_fig07_rssi_peak.dir/bench_fig07_rssi_peak.cpp.o.d"
+  "bench_fig07_rssi_peak"
+  "bench_fig07_rssi_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_rssi_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

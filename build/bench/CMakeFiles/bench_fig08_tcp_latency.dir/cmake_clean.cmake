@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_tcp_latency.dir/bench_fig08_tcp_latency.cpp.o"
+  "CMakeFiles/bench_fig08_tcp_latency.dir/bench_fig08_tcp_latency.cpp.o.d"
+  "bench_fig08_tcp_latency"
+  "bench_fig08_tcp_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_tcp_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

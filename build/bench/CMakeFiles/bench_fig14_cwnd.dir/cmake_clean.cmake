@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cwnd.dir/bench_fig14_cwnd.cpp.o"
+  "CMakeFiles/bench_fig14_cwnd.dir/bench_fig14_cwnd.cpp.o.d"
+  "bench_fig14_cwnd"
+  "bench_fig14_cwnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cwnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_aggregation.dir/bench_fig15_aggregation.cpp.o"
+  "CMakeFiles/bench_fig15_aggregation.dir/bench_fig15_aggregation.cpp.o.d"
+  "bench_fig15_aggregation"
+  "bench_fig15_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

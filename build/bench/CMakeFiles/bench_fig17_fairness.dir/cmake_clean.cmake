@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_fairness.dir/bench_fig17_fairness.cpp.o"
+  "CMakeFiles/bench_fig17_fairness.dir/bench_fig17_fairness.cpp.o.d"
+  "bench_fig17_fairness"
+  "bench_fig17_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

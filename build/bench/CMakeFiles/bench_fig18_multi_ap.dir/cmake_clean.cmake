@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_multi_ap.dir/bench_fig18_multi_ap.cpp.o"
+  "CMakeFiles/bench_fig18_multi_ap.dir/bench_fig18_multi_ap.cpp.o.d"
+  "bench_fig18_multi_ap"
+  "bench_fig18_multi_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_multi_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

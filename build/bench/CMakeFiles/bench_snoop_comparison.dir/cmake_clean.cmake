@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snoop_comparison.dir/bench_snoop_comparison.cpp.o"
+  "CMakeFiles/bench_snoop_comparison.dir/bench_snoop_comparison.cpp.o.d"
+  "bench_snoop_comparison"
+  "bench_snoop_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snoop_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

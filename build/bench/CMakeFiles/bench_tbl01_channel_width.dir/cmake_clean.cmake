@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl01_channel_width.dir/bench_tbl01_channel_width.cpp.o"
+  "CMakeFiles/bench_tbl01_channel_width.dir/bench_tbl01_channel_width.cpp.o.d"
+  "bench_tbl01_channel_width"
+  "bench_tbl01_channel_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl01_channel_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl02_usage.dir/bench_tbl02_usage.cpp.o"
+  "CMakeFiles/bench_tbl02_usage.dir/bench_tbl02_usage.cpp.o.d"
+  "bench_tbl02_usage"
+  "bench_tbl02_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl02_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_planning.dir/channel_planning.cpp.o"
+  "CMakeFiles/channel_planning.dir/channel_planning.cpp.o.d"
+  "channel_planning"
+  "channel_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

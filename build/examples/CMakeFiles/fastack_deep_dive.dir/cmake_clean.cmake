@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastack_deep_dive.dir/fastack_deep_dive.cpp.o"
+  "CMakeFiles/fastack_deep_dive.dir/fastack_deep_dive.cpp.o.d"
+  "fastack_deep_dive"
+  "fastack_deep_dive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastack_deep_dive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

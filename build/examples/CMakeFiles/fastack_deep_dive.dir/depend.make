@@ -1,0 +1,2 @@
+# Empty dependencies file for fastack_deep_dive.
+# This may be replaced when dependencies are built.

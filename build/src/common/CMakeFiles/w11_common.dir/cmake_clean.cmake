@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_common.dir/stats.cpp.o"
+  "CMakeFiles/w11_common.dir/stats.cpp.o.d"
+  "libw11_common.a"
+  "libw11_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_fastack.dir/fastack/agent.cpp.o"
+  "CMakeFiles/w11_fastack.dir/fastack/agent.cpp.o.d"
+  "CMakeFiles/w11_fastack.dir/fastack/trace.cpp.o"
+  "CMakeFiles/w11_fastack.dir/fastack/trace.cpp.o.d"
+  "libw11_fastack.a"
+  "libw11_fastack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_fastack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_snoop.dir/snoop/snoop_agent.cpp.o"
+  "CMakeFiles/w11_snoop.dir/snoop/snoop_agent.cpp.o.d"
+  "libw11_snoop.a"
+  "libw11_snoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_snoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

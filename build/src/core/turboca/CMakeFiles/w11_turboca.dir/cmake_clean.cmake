@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_turboca.dir/hopping.cpp.o"
+  "CMakeFiles/w11_turboca.dir/hopping.cpp.o.d"
+  "CMakeFiles/w11_turboca.dir/service.cpp.o"
+  "CMakeFiles/w11_turboca.dir/service.cpp.o.d"
+  "CMakeFiles/w11_turboca.dir/turboca.cpp.o"
+  "CMakeFiles/w11_turboca.dir/turboca.cpp.o.d"
+  "libw11_turboca.a"
+  "libw11_turboca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_turboca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

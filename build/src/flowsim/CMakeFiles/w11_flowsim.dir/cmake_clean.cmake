@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_flowsim.dir/network.cpp.o"
+  "CMakeFiles/w11_flowsim.dir/network.cpp.o.d"
+  "libw11_flowsim.a"
+  "libw11_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_mac.dir/aggregation.cpp.o"
+  "CMakeFiles/w11_mac.dir/aggregation.cpp.o.d"
+  "CMakeFiles/w11_mac.dir/medium.cpp.o"
+  "CMakeFiles/w11_mac.dir/medium.cpp.o.d"
+  "libw11_mac.a"
+  "libw11_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

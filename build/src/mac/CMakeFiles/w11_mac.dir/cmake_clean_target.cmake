@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libw11_mac.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/tcp_receiver.cpp" "src/net/CMakeFiles/w11_net.dir/tcp_receiver.cpp.o" "gcc" "src/net/CMakeFiles/w11_net.dir/tcp_receiver.cpp.o.d"
+  "/root/repo/src/net/tcp_sender.cpp" "src/net/CMakeFiles/w11_net.dir/tcp_sender.cpp.o" "gcc" "src/net/CMakeFiles/w11_net.dir/tcp_sender.cpp.o.d"
+  "/root/repo/src/net/wired_link.cpp" "src/net/CMakeFiles/w11_net.dir/wired_link.cpp.o" "gcc" "src/net/CMakeFiles/w11_net.dir/wired_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/w11_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/w11_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_net.dir/tcp_receiver.cpp.o"
+  "CMakeFiles/w11_net.dir/tcp_receiver.cpp.o.d"
+  "CMakeFiles/w11_net.dir/tcp_sender.cpp.o"
+  "CMakeFiles/w11_net.dir/tcp_sender.cpp.o.d"
+  "CMakeFiles/w11_net.dir/wired_link.cpp.o"
+  "CMakeFiles/w11_net.dir/wired_link.cpp.o.d"
+  "libw11_net.a"
+  "libw11_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

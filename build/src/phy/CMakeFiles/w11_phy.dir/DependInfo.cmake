@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/w11_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/w11_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/mcs.cpp" "src/phy/CMakeFiles/w11_phy.dir/mcs.cpp.o" "gcc" "src/phy/CMakeFiles/w11_phy.dir/mcs.cpp.o.d"
+  "/root/repo/src/phy/propagation.cpp" "src/phy/CMakeFiles/w11_phy.dir/propagation.cpp.o" "gcc" "src/phy/CMakeFiles/w11_phy.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/w11_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_phy.dir/channel.cpp.o"
+  "CMakeFiles/w11_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/w11_phy.dir/mcs.cpp.o"
+  "CMakeFiles/w11_phy.dir/mcs.cpp.o.d"
+  "CMakeFiles/w11_phy.dir/propagation.cpp.o"
+  "CMakeFiles/w11_phy.dir/propagation.cpp.o.d"
+  "libw11_phy.a"
+  "libw11_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_scenario.dir/testbed.cpp.o"
+  "CMakeFiles/w11_scenario.dir/testbed.cpp.o.d"
+  "libw11_scenario.a"
+  "libw11_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

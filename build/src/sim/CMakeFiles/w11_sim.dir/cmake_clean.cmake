@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_sim.dir/simulator.cpp.o"
+  "CMakeFiles/w11_sim.dir/simulator.cpp.o.d"
+  "libw11_sim.a"
+  "libw11_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

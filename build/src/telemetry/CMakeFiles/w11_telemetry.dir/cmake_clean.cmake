@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_telemetry.dir/littletable.cpp.o"
+  "CMakeFiles/w11_telemetry.dir/littletable.cpp.o.d"
+  "libw11_telemetry.a"
+  "libw11_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

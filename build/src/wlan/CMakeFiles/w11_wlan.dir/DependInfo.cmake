@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wlan/access_point.cpp" "src/wlan/CMakeFiles/w11_wlan.dir/access_point.cpp.o" "gcc" "src/wlan/CMakeFiles/w11_wlan.dir/access_point.cpp.o.d"
+  "/root/repo/src/wlan/client.cpp" "src/wlan/CMakeFiles/w11_wlan.dir/client.cpp.o" "gcc" "src/wlan/CMakeFiles/w11_wlan.dir/client.cpp.o.d"
+  "/root/repo/src/wlan/rate_control.cpp" "src/wlan/CMakeFiles/w11_wlan.dir/rate_control.cpp.o" "gcc" "src/wlan/CMakeFiles/w11_wlan.dir/rate_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/w11_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/w11_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/w11_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/w11_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/w11_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

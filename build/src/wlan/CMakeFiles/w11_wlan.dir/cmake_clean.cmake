@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_wlan.dir/access_point.cpp.o"
+  "CMakeFiles/w11_wlan.dir/access_point.cpp.o.d"
+  "CMakeFiles/w11_wlan.dir/client.cpp.o"
+  "CMakeFiles/w11_wlan.dir/client.cpp.o.d"
+  "CMakeFiles/w11_wlan.dir/rate_control.cpp.o"
+  "CMakeFiles/w11_wlan.dir/rate_control.cpp.o.d"
+  "libw11_wlan.a"
+  "libw11_wlan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_wlan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

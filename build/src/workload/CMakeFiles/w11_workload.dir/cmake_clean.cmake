@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/w11_workload.dir/device_population.cpp.o"
+  "CMakeFiles/w11_workload.dir/device_population.cpp.o.d"
+  "CMakeFiles/w11_workload.dir/topology.cpp.o"
+  "CMakeFiles/w11_workload.dir/topology.cpp.o.d"
+  "CMakeFiles/w11_workload.dir/traffic.cpp.o"
+  "CMakeFiles/w11_workload.dir/traffic.cpp.o.d"
+  "libw11_workload.a"
+  "libw11_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/w11_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

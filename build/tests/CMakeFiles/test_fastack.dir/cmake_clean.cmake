@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastack.dir/test_fastack.cpp.o"
+  "CMakeFiles/test_fastack.dir/test_fastack.cpp.o.d"
+  "test_fastack"
+  "test_fastack.pdb"
+  "test_fastack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/test_sim.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/w11_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/turboca/CMakeFiles/w11_turboca.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/w11_fastack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/w11_snoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/w11_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/w11_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/w11_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wlan/CMakeFiles/w11_wlan.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/w11_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/w11_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/w11_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/w11_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/w11_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turboca.dir/test_turboca.cpp.o"
+  "CMakeFiles/test_turboca.dir/test_turboca.cpp.o.d"
+  "test_turboca"
+  "test_turboca.pdb"
+  "test_turboca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turboca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

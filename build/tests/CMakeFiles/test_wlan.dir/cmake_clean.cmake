@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wlan.dir/test_wlan.cpp.o"
+  "CMakeFiles/test_wlan.dir/test_wlan.cpp.o.d"
+  "test_wlan"
+  "test_wlan.pdb"
+  "test_wlan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wlan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
