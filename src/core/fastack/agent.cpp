@@ -10,7 +10,15 @@ FastAckAgent::FastAckAgent(Simulator& sim, AccessPoint& ap, Config cfg)
     : sim_(sim), ap_(ap), cfg_(cfg), trace_(cfg.trace_capacity) {}
 
 FlowState& FastAckAgent::state_for(const TcpSegment& seg) {
-  FlowState& s = flows_[seg.flow];
+  auto it = flows_.find(seg.flow);
+  if (it == flows_.end()) {
+    if (flows_.size() >= cfg_.max_flows) {
+      gc_idle_flows();
+      if (flows_.size() >= cfg_.max_flows) evict_for_capacity();
+    }
+    it = flows_.try_emplace(seg.flow).first;
+  }
+  FlowState& s = it->second;
   if (!s.initialized) {
     s.initialized = true;
     s.client = seg.dst_station;
@@ -19,11 +27,47 @@ FlowState& FastAckAgent::state_for(const TcpSegment& seg) {
     s.client_rwnd = cfg_.initial_client_rwnd;
     trace(seg.flow, TraceEvent::kFlowCreated, seg.seq);
   }
+  s.last_activity = sim_.now();
   return s;
+}
+
+void FastAckAgent::activate_bypass(FlowId flow, FlowState& s) {
+  if (s.bypassed) return;
+  s.bypassed = true;
+  // Free the heavy per-flow state: a bypassed flow needs none of it, and a
+  // soak under repeated faults must stay memory-bounded.
+  s.retx_cache.clear();
+  s.q_seq.clear();
+  s.holes_vec.clear();
+  ++stats_.bypass_activations;
+  trace(flow, TraceEvent::kBypassActivated, s.seq_fack, s.seq_exp);
+}
+
+bool FastAckAgent::validate(FlowId flow, FlowState& s) {
+  if (s.bypassed) return false;
+  // The structural invariants of Table 3: the AP can never have fast-acked
+  // bytes the sender has not delivered to it, nor expect a sequence beyond
+  // the highest it has seen.
+  const bool ok = s.seq_fack <= s.seq_exp && s.seq_exp <= s.seq_high;
+  if (ok) return true;
+  if (!cfg_.bypass_on_anomaly) {
+    W11_CHECK_MSG(false, "FastACK invariant violated on flow "
+                             << flow.value() << ": fack=" << s.seq_fack
+                             << " exp=" << s.seq_exp
+                             << " high=" << s.seq_high);
+  }
+  activate_bypass(flow, s);
+  return false;
 }
 
 TcpInterceptor::DataAction FastAckAgent::on_downlink_data(TcpSegment& seg) {
   FlowState& s = state_for(seg);
+  if (!validate(seg.flow, s)) {
+    // Bypass: plain forwarding, no caching, no synthesized ACKs. The
+    // sender's own machinery provides all recovery.
+    ++stats_.bypassed_segments;
+    return DataAction::kForward;
+  }
   const std::uint64_t seq_in = seg.seq;
   const std::uint64_t end = seg.seq_end();
 
@@ -95,6 +139,8 @@ void FastAckAgent::on_80211_delivered(const TcpSegment& seg) {
   const auto it = flows_.find(seg.flow);
   if (it == flows_.end()) return;
   FlowState& s = it->second;
+  s.last_activity = sim_.now();
+  if (!validate(seg.flow, s)) return;
 
   if (!cfg_.require_contiguity) {
     // Naive mode (ablation D4): acknowledge whatever the air delivered,
@@ -137,6 +183,8 @@ bool FastAckAgent::on_uplink_ack(const TcpSegment& ack) {
   const auto it = flows_.find(ack.flow);
   if (it == flows_.end()) return false;  // not a fast-acked flow
   FlowState& s = it->second;
+  s.last_activity = sim_.now();
+  if (!validate(ack.flow, s)) return false;  // bypass: ACK passes upstream
   s.client_rwnd = ack.rwnd;
 
   if (ack.ack > s.seq_tcp) {
@@ -158,6 +206,16 @@ bool FastAckAgent::on_uplink_ack(const TcpSegment& ack) {
     if (cfg_.emit_window_updates && cfg_.suppress_client_acks &&
         s.last_advertised_rwnd < 1460 && advertised_window(s) >= 1460) {
       emit_fast_ack(ack.flow, s, /*window_update_only=*/true);
+    }
+    // Stall heal: the client is advancing but still behind the fast-ACK
+    // point with its window collapsed — it is buffering out-of-order data
+    // it cannot consume because bytes only our cache still has are missing.
+    // The stalled sender generates (almost) no arrivals, so the dup-ACK
+    // trigger starves; chain the next cached burst off this ACK instead so
+    // recovery clocks itself until the window reopens.
+    if (s.seq_tcp < s.seq_fack &&
+        advertised_window(s) < cfg_.stall_rwnd_bytes) {
+      local_retransmit(ack.flow, s, s.seq_tcp);
     }
   } else if (ack.ack == s.last_client_ack && !ack.has_payload()) {
     // Duplicate ACK from the client: it is missing data the AP already
@@ -271,7 +329,59 @@ void FastAckAgent::import_flow(FlowId flow, FlowState state) {
   // MPDUs are delivered by this AP.
   state.q_seq.clear();
   state.client_dupacks = 0;
-  flows_[flow] = std::move(state);
+  state.last_activity = sim_.now();
+  if (flows_.find(flow) == flows_.end() && flows_.size() >= cfg_.max_flows) {
+    gc_idle_flows();
+    if (flows_.size() >= cfg_.max_flows) evict_for_capacity();
+  }
+  FlowState& s = flows_[flow] = std::move(state);
+  // A torn transfer (roam racing a crash) can deliver corrupt state; catch
+  // it at the border instead of letting it poison the fast path.
+  validate(flow, s);
+}
+
+void FastAckAgent::crash_reset() {
+  stats_.flows_lost_to_crash += flows_.size();
+  flows_.clear();
+}
+
+void FastAckAgent::gc_idle_flows() {
+  const Time now = sim_.now();
+  std::vector<FlowId> victims;
+  for (const auto& [flow, s] : flows_) {
+    if (now - s.last_activity > cfg_.flow_idle_timeout) victims.push_back(flow);
+  }
+  // Sorted eviction keeps the trace (and any tie-breaking) deterministic
+  // regardless of hash-table iteration order.
+  std::sort(victims.begin(), victims.end(),
+            [](FlowId a, FlowId b) { return a.value() < b.value(); });
+  for (FlowId flow : victims) {
+    trace(flow, TraceEvent::kFlowEvicted, flows_[flow].seq_fack);
+    flows_.erase(flow);
+    ++stats_.flows_evicted_idle;
+  }
+}
+
+void FastAckAgent::evict_for_capacity() {
+  if (flows_.empty()) return;
+  auto victim = flows_.begin();
+  for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+    if (it->second.last_activity < victim->second.last_activity ||
+        (it->second.last_activity == victim->second.last_activity &&
+         it->first.value() < victim->first.value()))
+      victim = it;
+  }
+  trace(victim->first, TraceEvent::kFlowEvicted, victim->second.seq_fack);
+  flows_.erase(victim);
+  ++stats_.flows_evicted_capacity;
+}
+
+void FastAckAgent::inject_anomaly(FlowId flow) {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) return;
+  // Push the fast-ACK point past the delivery horizon — a state no correct
+  // execution can reach. The next datapath event trips validate().
+  it->second.seq_fack = it->second.seq_exp + 1'000'000;
 }
 
 const FlowState* FastAckAgent::flow_state(FlowId flow) const {

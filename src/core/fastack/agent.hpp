@@ -61,6 +61,27 @@ class FastAckAgent : public TcpInterceptor {
     // bounded ring for tests and live debugging.
     bool trace_enabled = false;
     std::size_t trace_capacity = 4096;
+    // --- graceful degradation (§5.5.4 corner cases) ----------------------
+    // On an invariant anomaly (corrupt imported state, bookkeeping gone
+    // wrong) the flow drops to bypass: plain forwarding, sender-driven
+    // recovery, counted in FlowStats. With this off the agent fails hard
+    // (W11_CHECK) instead — the debug-build stance.
+    bool bypass_on_anomaly = true;
+    // Hard cap on tracked flows; creating a flow past the cap first evicts
+    // idle flows, then the least-recently-active one. A deployed AP serves
+    // a churning client population forever — the table must be bounded.
+    std::size_t max_flows = 4096;
+    // A flow without datapath activity for this long is dead weight (the
+    // client roamed away, the connection closed — the agent never sees FIN
+    // in this model) and is collected by gc_idle_flows().
+    Time flow_idle_timeout = time::seconds(60);
+    // Stall-heal trigger: a client ACK that advances while still behind the
+    // fast-ACK point, with the rewritten (sender-visible) window collapsed
+    // below this, is wedged on bytes only the cache still has — the sender
+    // believes them delivered and its window is shut, so the dup-ACK path
+    // will starve (no new arrivals means no new client ACKs). Each such ACK
+    // pulls the next cached burst, making recovery self-clocking (§5.5.1).
+    std::uint64_t stall_rwnd_bytes = 3 * 1460;
   };
 
   FastAckAgent(Simulator& sim, AccessPoint& ap, Config cfg);
@@ -77,7 +98,21 @@ class FastAckAgent : public TcpInterceptor {
   // roam-from AP. The paper requires such a mechanism for controller-less
   // roaming but leaves it unspecified; this is the minimal faithful one.
   [[nodiscard]] std::optional<FlowState> export_flow(FlowId flow);
+  // Imported state is validated; state that fails its invariants (a torn
+  // transfer, a crashed source AP) installs the flow in bypass mode instead
+  // of poisoning the fast path.
   void import_flow(FlowId flow, FlowState state);
+
+  // Degradation & lifecycle ---------------------------------------------
+  // AP crash/reboot: the in-memory flow table is gone. Flows re-create on
+  // the next segment; clients recover via normal end-to-end TCP.
+  void crash_reset();
+  // Evict flows idle longer than flow_idle_timeout. Called lazily when the
+  // table is full; harnesses may also call it periodically.
+  void gc_idle_flows();
+  // Corrupt a flow's bookkeeping (fault-injection hook): the next datapath
+  // event on the flow trips invariant validation and activates bypass.
+  void inject_anomaly(FlowId flow);
 
   // Introspection -------------------------------------------------------
   [[nodiscard]] const FlowState* flow_state(FlowId flow) const;
@@ -88,6 +123,12 @@ class FastAckAgent : public TcpInterceptor {
 
  private:
   FlowState& state_for(const TcpSegment& seg);
+  // Invariant validation: true iff the flow is healthy and accelerated.
+  // A violated invariant activates bypass (or fails hard when
+  // bypass_on_anomaly is off).
+  bool validate(FlowId flow, FlowState& s);
+  void activate_bypass(FlowId flow, FlowState& s);
+  void evict_for_capacity();
   void drain_q_seq(FlowId flow, FlowState& s);
   void emit_fast_ack(FlowId flow, FlowState& s, bool window_update_only);
   void local_retransmit(FlowId flow, FlowState& s, std::uint64_t from_seq);

@@ -41,6 +41,16 @@ struct FlowState {
   StationId client;
   bool initialized = false;
 
+  // Safe-disable bypass (§5.5.4 spirit): when an invariant anomaly is
+  // detected — corrupt imported state after a roam/crash, or internal
+  // bookkeeping gone wrong — the flow stops being accelerated and every
+  // packet passes through untouched. The sender's normal TCP recovery takes
+  // over; correctness is preserved at the cost of acceleration.
+  bool bypassed = false;
+
+  // Last datapath event touching this flow (drives idle-flow eviction).
+  Time last_activity{};
+
   std::vector<Hole> holes_vec;
   std::uint64_t seq_high = 0;
   std::uint64_t seq_exp = 0;
@@ -80,6 +90,12 @@ struct FlowStats {
   std::uint64_t client_acks_suppressed = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_overflow = 0;
+  // Graceful-degradation counters.
+  std::uint64_t bypass_activations = 0;    // flows dropped to plain forwarding
+  std::uint64_t bypassed_segments = 0;     // data segments passed through
+  std::uint64_t flows_evicted_idle = 0;    // idle-timeout GC
+  std::uint64_t flows_evicted_capacity = 0;  // table hit max_flows
+  std::uint64_t flows_lost_to_crash = 0;   // crash_reset() state loss
 };
 
 }  // namespace w11::fastack

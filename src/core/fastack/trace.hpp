@@ -32,6 +32,8 @@ enum class TraceEvent : std::uint8_t {
   kClientDupAck,
   kLocalRetransmit,
   kMpduDropped,
+  kBypassActivated,   // invariant anomaly -> plain forwarding
+  kFlowEvicted,       // idle-timeout or capacity GC
 };
 
 [[nodiscard]] constexpr const char* to_string(TraceEvent e) {
@@ -50,6 +52,8 @@ enum class TraceEvent : std::uint8_t {
     case TraceEvent::kClientDupAck: return "client-dupack";
     case TraceEvent::kLocalRetransmit: return "local-retx";
     case TraceEvent::kMpduDropped: return "mpdu-dropped";
+    case TraceEvent::kBypassActivated: return "bypass-activated";
+    case TraceEvent::kFlowEvicted: return "flow-evicted";
   }
   return "?";
 }

@@ -6,6 +6,23 @@
 
 namespace w11::turboca {
 
+namespace {
+
+// Drop scans whose snapshot is older than `max_age` relative to `now`.
+// Unstamped scans (taken_at == 0, e.g. hand-built or recorded data) are
+// always kept. Returns how many entries were removed.
+std::size_t drop_stale_scans(std::vector<ApScan>& scans, Time now,
+                             Time max_age) {
+  if (max_age == time::kForever) return 0;
+  const std::size_t before = scans.size();
+  std::erase_if(scans, [&](const ApScan& s) {
+    return s.taken_at != Time{} && now - s.taken_at > max_age;
+  });
+  return before - scans.size();
+}
+
+}  // namespace
+
 TurboCaService::TurboCaService(Params params, Schedule schedule,
                                NetworkHooks hooks, Rng rng)
     : engine_(params, std::move(rng)), schedule_(schedule),
@@ -14,27 +31,44 @@ TurboCaService::TurboCaService(Params params, Schedule schedule,
 }
 
 void TurboCaService::advance_to(Time now) {
+  // Clock weirdness (NTP steps, a restarted poller replaying old
+  // timestamps): a rewound clock is counted and ignored. Anchors only ever
+  // move forward, so fire-once semantics hold across the rewind.
+  if (now < now_) {
+    ++stats_.clock_anomalies;
+    return;
+  }
+  now_ = now;
   // Slowest tier first; each tier's run already ends in i = 0, so a firing
-  // of a slower tier also satisfies the faster ones.
+  // of a slower tier also satisfies the faster ones. A skipped firing
+  // (degraded scans) leaves the anchors untouched: the tier retries at the
+  // next poll tick instead of silently losing a whole period.
   if (now - last_slow_ >= schedule_.slow) {
-    run_now({2, 1, 0});
-    last_slow_ = last_medium_ = last_fast_ = now;
+    if (run_now({2, 1, 0})) last_slow_ = last_medium_ = last_fast_ = now;
     return;
   }
   if (now - last_medium_ >= schedule_.medium) {
-    run_now({1, 0});
-    last_medium_ = last_fast_ = now;
+    if (run_now({1, 0})) last_medium_ = last_fast_ = now;
     return;
   }
   if (now - last_fast_ >= schedule_.fast) {
-    run_now({0});
-    last_fast_ = now;
+    if (run_now({0})) last_fast_ = now;
   }
 }
 
-void TurboCaService::run_now(const std::vector<int>& levels) {
-  const std::vector<ApScan> scans = hooks_.scan();
-  if (scans.empty()) return;
+bool TurboCaService::run_now(const std::vector<int>& levels) {
+  std::vector<ApScan> scans = hooks_.scan();
+  if (scans.empty()) {
+    ++stats_.empty_scan_skips;
+    return false;
+  }
+  // A partially-fresh census still plans for the fresh APs; only an
+  // all-stale census (a wedged collector replaying its cache) skips.
+  drop_stale_scans(scans, now_, schedule_.max_scan_age);
+  if (scans.empty()) {
+    ++stats_.stale_scan_skips;
+    return false;
+  }
   ChannelPlan plan = hooks_.current_plan();
   bool improved = false;
   double netp = 0.0;
@@ -57,6 +91,7 @@ void TurboCaService::run_now(const std::vector<int>& levels) {
     ++stats_.plans_applied;
     hooks_.apply_plan(plan);
   }
+  return true;
 }
 
 ReservedCaService::ReservedCaService(Config cfg, Params params,
@@ -66,14 +101,26 @@ ReservedCaService::ReservedCaService(Config cfg, Params params,
 }
 
 void ReservedCaService::advance_to(Time now) {
+  if (now < now_) {
+    ++stats_.clock_anomalies;
+    return;
+  }
+  now_ = now;
   if (now - last_run_ < cfg_.period) return;
-  last_run_ = now;
-  run_now();
+  if (run_now()) last_run_ = now;
 }
 
-void ReservedCaService::run_now() {
-  const std::vector<ApScan> scans = hooks_.scan();
-  if (scans.empty()) return;
+bool ReservedCaService::run_now() {
+  std::vector<ApScan> scans = hooks_.scan();
+  if (scans.empty()) {
+    ++stats_.empty_scan_skips;
+    return false;
+  }
+  drop_stale_scans(scans, now_, cfg_.max_scan_age);
+  if (scans.empty()) {
+    ++stats_.stale_scan_skips;
+    return false;
+  }
   ChannelPlan plan = hooks_.current_plan();
   const std::set<ApId> none;
 
@@ -119,6 +166,7 @@ void ReservedCaService::run_now() {
   stats_.channel_switches += switches;
   ++stats_.runs;
   hooks_.apply_plan(plan);
+  return true;
 }
 
 }  // namespace w11::turboca

@@ -33,6 +33,11 @@ class TurboCaService {
     Time fast = time::minutes(15);   // NBO(0)
     Time medium = time::hours(3);    // NBO(1), NBO(0)
     Time slow = time::hours(24);     // NBO(2), NBO(1), NBO(0)
+    // Scans older than this (by their taken_at stamp, relative to the
+    // advance_to clock) are rejected: re-planning a live network from a
+    // wedged collector's cache is worse than skipping the firing. Unstamped
+    // scans (taken_at == 0) are always accepted.
+    Time max_scan_age = time::kForever;
   };
 
   struct Stats {
@@ -40,17 +45,26 @@ class TurboCaService {
     int plans_applied = 0;
     int channel_switches = 0;
     double last_netp_log = 0.0;
+    // Graceful-degradation counters: firings skipped because the scan feed
+    // was down (empty) or wedged (stale), and advance_to calls observed
+    // with a non-monotonic clock.
+    int empty_scan_skips = 0;
+    int stale_scan_skips = 0;
+    int clock_anomalies = 0;
   };
 
   TurboCaService(Params params, Schedule schedule, NetworkHooks hooks, Rng rng);
 
   // Advance the service's clock, firing every due schedule tier. Tiers due
   // at the same instant run slowest-first so each run ends with i = 0
-  // (§4.4.4: "All schedules end with i = 0").
+  // (§4.4.4: "All schedules end with i = 0"). Time moving backwards is
+  // tolerated: the call is counted and ignored, and fire-once semantics
+  // hold — a rewound clock never re-fires a tier already run.
   void advance_to(Time now);
 
   // Run one full pass with hop limits `levels` (e.g. {2,1,0}) immediately.
-  void run_now(const std::vector<int>& levels);
+  // Returns false if the firing was skipped (empty or stale scans).
+  bool run_now(const std::vector<int>& levels);
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -61,6 +75,7 @@ class TurboCaService {
   Time last_fast_{};
   Time last_medium_{};
   Time last_slow_{};
+  Time now_{};  // clock high-water mark from advance_to
   Stats stats_;
 };
 
@@ -72,17 +87,23 @@ class ReservedCaService {
   struct Config {
     Time period = time::hours(5);
     ChannelWidth fixed_width = ChannelWidth::MHz40;
+    Time max_scan_age = time::kForever;  // see TurboCaService::Schedule
   };
 
   struct Stats {
     int runs = 0;
     int channel_switches = 0;
+    int empty_scan_skips = 0;
+    int stale_scan_skips = 0;
+    int clock_anomalies = 0;
   };
 
   ReservedCaService(Config cfg, Params params, NetworkHooks hooks, Rng rng);
 
+  // Tolerates a non-monotonic clock like TurboCaService::advance_to.
   void advance_to(Time now);
-  void run_now();
+  // Returns false if the firing was skipped (empty or stale scans).
+  bool run_now();
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -91,6 +112,7 @@ class ReservedCaService {
   TurboCA engine_;  // reuses NodeP for the isolated per-AP score
   NetworkHooks hooks_;
   Time last_run_{};
+  Time now_{};
   Stats stats_;
 };
 

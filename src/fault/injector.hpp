@@ -1,0 +1,79 @@
+#pragma once
+// FaultInjector: fires a FaultPlan into a running system.
+//
+// The injector is deliberately agnostic about what it is injecting into —
+// consumers register handlers (like turboca::NetworkHooks, a struct of
+// std::functions) and the injector delivers each due event exactly once, in
+// plan order. Two drive modes cover both halves of the codebase:
+//
+//   * advance_to(now) — for coarse wall-clock harnesses (the flowsim /
+//     TurboCA polling loop): fires every event with at <= now, in order.
+//   * arm(sim) — for the packet-level testbed: schedules every event on the
+//     discrete-event Simulator at its exact timestamp.
+//
+// Every fired event lands in an ordered log, so determinism is checkable by
+// comparing logs across runs (the chaos soak's reproducibility assertion).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace w11::fault {
+
+struct FaultHandlers {
+  std::function<void(int ap)> radar;
+  std::function<void(int ap)> ap_crash;
+  std::function<void(ScanFaultMode mode, double keep_fraction)> scan_degrade;
+  std::function<void(int link)> link_down;
+  std::function<void(int link)> link_up;
+  std::function<void(int count)> telemetry_drop;
+  std::function<void(Time backwards_by)> clock_jump;
+};
+
+struct InjectorStats {
+  int fired = 0;
+  int unhandled = 0;  // events whose handler was not registered
+  int radar = 0;
+  int ap_crash = 0;
+  int scan_degrade = 0;
+  int link_down = 0;
+  int link_up = 0;
+  int telemetry_drop = 0;
+  int clock_jump = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, FaultHandlers handlers);
+
+  // Fire all events with at <= now that have not fired yet, in plan order.
+  // `now` may go backwards (that is one of the faults we model); rewinding
+  // never re-fires events.
+  void advance_to(Time now);
+
+  // Schedule every not-yet-fired event on `sim` at its timestamp. Call once,
+  // before running the simulator; events before sim.now() fire immediately.
+  void arm(Simulator& sim);
+
+  [[nodiscard]] bool exhausted() const { return next_ >= plan_.size(); }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const InjectorStats& stats() const { return stats_; }
+  // Ordered record of every event fired so far — the determinism witness.
+  [[nodiscard]] const std::vector<FaultEvent>& log() const { return log_; }
+
+ private:
+  void fire(const FaultEvent& ev);
+
+  FaultPlan plan_;
+  FaultHandlers handlers_;
+  std::size_t next_ = 0;  // first unfired index into plan_.events()
+  InjectorStats stats_;
+  std::vector<FaultEvent> log_;
+  bool armed_ = false;
+};
+
+}  // namespace w11::fault

@@ -1,0 +1,63 @@
+#include "fault/scan_fault.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace w11::fault {
+
+DegradedScanHooks::DegradedScanHooks(turboca::NetworkHooks inner,
+                                     std::function<Time()> now, Rng rng)
+    : inner_(std::move(inner)), now_(std::move(now)), rng_(std::move(rng)) {
+  W11_CHECK(inner_.scan && inner_.current_plan && inner_.apply_plan);
+  W11_CHECK(now_ != nullptr);
+}
+
+turboca::NetworkHooks DegradedScanHooks::hooks() {
+  turboca::NetworkHooks h;
+  h.scan = [this] { return scan(); };
+  h.current_plan = inner_.current_plan;
+  h.apply_plan = inner_.apply_plan;
+  return h;
+}
+
+void DegradedScanHooks::set_mode(ScanFaultMode mode, double keep_fraction) {
+  mode_ = mode;
+  keep_fraction_ = std::clamp(keep_fraction, 0.0, 1.0);
+}
+
+std::vector<ApScan> DegradedScanHooks::scan() {
+  ++stats_.scans_served;
+  switch (mode_) {
+    case ScanFaultMode::kEmpty:
+      ++stats_.scans_emptied;
+      return {};
+    case ScanFaultMode::kStale:
+      // Serve the cached snapshot with its original taken_at. If nothing was
+      // ever collected, the outage looks like an empty census.
+      ++stats_.scans_stale;
+      if (last_healthy_.empty()) ++stats_.scans_emptied;
+      return last_healthy_;
+    case ScanFaultMode::kPartial: {
+      std::vector<ApScan> scans = inner_.scan();
+      const Time at = now_();
+      for (ApScan& s : scans) s.taken_at = at;
+      const std::size_t full = scans.size();
+      std::erase_if(scans, [&](const ApScan&) {
+        return !rng_.bernoulli(keep_fraction_);
+      });
+      ++stats_.scans_partial;
+      stats_.aps_dropped += static_cast<int>(full - scans.size());
+      return scans;
+    }
+    case ScanFaultMode::kHealthy:
+      break;
+  }
+  std::vector<ApScan> scans = inner_.scan();
+  const Time at = now_();
+  for (ApScan& s : scans) s.taken_at = at;
+  last_healthy_ = scans;
+  return scans;
+}
+
+}  // namespace w11::fault

@@ -1,0 +1,61 @@
+#pragma once
+// Degraded-scan decorator for the channel-assignment services.
+//
+// Wraps a turboca::NetworkHooks and corrupts the scan() leg on demand: the
+// backend's collection pipeline can return nothing (kEmpty — total outage),
+// a partial AP census (kPartial — some APs failed to report, which WACA-style
+// measurement campaigns show is the common case), or a stale snapshot
+// replayed with its original timestamp (kStale — the poller kept serving its
+// cache after the collectors wedged). current_plan/apply_plan pass through
+// untouched: the services still can act, they just see bad inputs — exactly
+// the regime their empty/stale guards must degrade gracefully under.
+//
+// Which APs vanish in partial mode is drawn from an owned Rng, so a given
+// (seed, call sequence) corrupts identically on every run.
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "core/turboca/service.hpp"
+#include "fault/fault_plan.hpp"
+#include "flowsim/scan.hpp"
+
+namespace w11::fault {
+
+class DegradedScanHooks {
+ public:
+  // `now` supplies the harness clock used to stamp fresh scans' taken_at;
+  // pass the polling loop's current time (or sim.now()).
+  DegradedScanHooks(turboca::NetworkHooks inner, std::function<Time()> now,
+                    Rng rng);
+
+  // The decorated hooks to hand to TurboCaService / ReservedCaService.
+  [[nodiscard]] turboca::NetworkHooks hooks();
+
+  void set_mode(ScanFaultMode mode, double keep_fraction = 1.0);
+  [[nodiscard]] ScanFaultMode mode() const { return mode_; }
+
+  struct Stats {
+    int scans_served = 0;
+    int scans_emptied = 0;   // calls answered with no data
+    int scans_partial = 0;   // calls answered with a reduced census
+    int scans_stale = 0;     // calls answered from the cache
+    int aps_dropped = 0;     // individual AP reports removed (partial mode)
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] std::vector<ApScan> scan();
+
+  turboca::NetworkHooks inner_;
+  std::function<Time()> now_;
+  Rng rng_;
+  ScanFaultMode mode_ = ScanFaultMode::kHealthy;
+  double keep_fraction_ = 1.0;
+  std::vector<ApScan> last_healthy_;
+  Stats stats_;
+};
+
+}  // namespace w11::fault

@@ -101,26 +101,9 @@ int Network::apply_plan(const ChannelPlan& plan) {
     if (it->second != ap.channel) {
       ap.channel = it->second;
       ++switches;
-      // §4.3.1 disruption accounting for this AP's active clients.
-      for (const auto& cl : ap.clients) {
-        if (cl.offered_mbps <= cfg_.active_client_threshold_mbps) continue;
-        const bool follows_csa =
-            cl.cap.supports_csa && !rng_.bernoulli(csa_miss_rate);
-        if (follows_csa) continue;
-        // Detect + rescan + re-associate: ~5 s laptops, ~8 s mobiles; the
-        // 1-stream population skews mobile.
-        const double secs =
-            cl.cap.max_nss >= 2 ? rng_.uniform(4.0, 6.0) : rng_.uniform(7.0, 9.0);
-        disruption_client_seconds_ += secs;
-        ++clients_disrupted_;
-      }
+      account_switch_disruption(ap);
     }
-    // Maintain a non-DFS fallback whenever the AP sits on a DFS channel.
-    if (ap.channel.is_dfs()) {
-      const auto safe = channels::candidate_set(cfg_.band, ap.max_width,
-                                                /*allow_dfs=*/false);
-      if (!safe.empty()) ap.dfs_fallback = safe.front();
-    }
+    refresh_dfs_fallback(ap);
   }
   total_switches_ += switches;
   return switches;
@@ -132,13 +115,56 @@ ChannelPlan Network::current_plan() const {
   return plan;
 }
 
+void Network::account_switch_disruption(const ApNode& ap) {
+  // §4.3.1 disruption accounting for this AP's active clients.
+  for (const auto& cl : ap.clients) {
+    if (cl.offered_mbps <= cfg_.active_client_threshold_mbps) continue;
+    const bool follows_csa =
+        cl.cap.supports_csa && !rng_.bernoulli(csa_miss_rate);
+    if (follows_csa) continue;
+    // Detect + rescan + re-associate: ~5 s laptops, ~8 s mobiles; the
+    // 1-stream population skews mobile.
+    const double secs =
+        cl.cap.max_nss >= 2 ? rng_.uniform(4.0, 6.0) : rng_.uniform(7.0, 9.0);
+    disruption_client_seconds_ += secs;
+    ++clients_disrupted_;
+  }
+}
+
+void Network::refresh_dfs_fallback(ApNode& ap) {
+  if (!ap.channel.is_dfs()) {
+    ap.dfs_fallback.reset();
+    return;
+  }
+  const auto safe = channels::candidate_set(cfg_.band, ap.max_width,
+                                            /*allow_dfs=*/false);
+  if (!safe.empty()) {
+    ap.dfs_fallback = safe.front();
+  } else {
+    // No non-DFS channel at this width exists: drop to the narrowest
+    // non-DFS option rather than leaving the AP with nowhere to go.
+    const auto narrow = channels::candidate_set(cfg_.band, ChannelWidth::MHz20,
+                                                /*allow_dfs=*/false);
+    if (!narrow.empty()) ap.dfs_fallback = narrow.front();
+    else ap.dfs_fallback.reset();
+  }
+}
+
 void Network::radar_event(ApId id) {
   ApNode& ap = ap_of_mut(id);
+  // Radar matters only on the DFS channel the AP currently occupies.
   if (!ap.channel.is_dfs()) return;
-  const Channel fb = ap.dfs_fallback.value_or(
+  if (!ap.dfs_fallback || *ap.dfs_fallback == ap.channel)
+    refresh_dfs_fallback(ap);
+  ap.channel = ap.dfs_fallback.value_or(
       Channel{cfg_.band, 36, ChannelWidth::MHz20});
-  ap.channel = fb;
   ++total_switches_;
+  ++radar_evacuations_;
+  account_switch_disruption(ap);
+  // The stale fallback was the bug: an operator-supplied (possibly DFS)
+  // fallback survived the evacuation, so a second strike on it had nowhere
+  // to go. Recompute from the channel actually occupied now.
+  refresh_dfs_fallback(ap);
 }
 
 const ApNode& Network::ap_of(ApId id) const {

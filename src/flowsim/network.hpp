@@ -140,8 +140,12 @@ class Network {
   // (§4.3.1: "beacons might be missed even by clients that do support CSAs").
   double csa_miss_rate = 0.10;
 
-  // Radar event on a DFS channel: the AP must vacate to its fallback.
+  // Radar event on a DFS channel: the AP vacates to its fallback (§4.5.2)
+  // and the fallback is recomputed afterwards, so repeated strikes walk the
+  // AP down a chain that always terminates on a non-DFS channel — an AP is
+  // never stranded on a channel it must leave. No-op off DFS channels.
   void radar_event(ApId ap);
+  [[nodiscard]] int radar_evacuations() const { return radar_evacuations_; }
 
   // --- measurement -------------------------------------------------------
   // Scan snapshots for the channel-assignment service.
@@ -171,6 +175,11 @@ class Network {
 
   [[nodiscard]] const ApNode& ap_of(ApId id) const;
   [[nodiscard]] ApNode& ap_of_mut(ApId id);
+  // Keep a non-DFS fallback whenever `ap` sits on a DFS channel; clear it
+  // otherwise. Shared by apply_plan and radar_event.
+  void refresh_dfs_fallback(ApNode& ap);
+  // §4.3.1 disruption accounting for one AP's active clients after a switch.
+  void account_switch_disruption(const ApNode& ap);
   [[nodiscard]] bool in_cs_range(const ApNode& a, const ApNode& b) const;
   [[nodiscard]] double external_duty_at(const ApNode& a,
                                         const Channel& on) const;
@@ -185,6 +194,7 @@ class Network {
   std::vector<ApNode> aps_;
   std::vector<ExternalInterferer> interferers_;
   int total_switches_ = 0;
+  int radar_evacuations_ = 0;
   double disruption_client_seconds_ = 0.0;
   std::uint64_t clients_disrupted_ = 0;
   std::uint32_t next_station_ = 0;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/time.hpp"
 #include "common/units.hpp"
 #include "phy/channel.hpp"
 
@@ -49,6 +50,11 @@ struct ApScan {
   // Measured utilization on the current channel (drives the §4.5.1
   // high-utilization switch-penalty rule).
   double utilization_current = 0.0;
+
+  // When this snapshot was collected (harness clock). Time{0} means
+  // "unstamped" and is always treated as fresh, so hand-built test scans
+  // and recorded data keep working without a clock.
+  Time taken_at{};
 
   [[nodiscard]] double total_load() const {
     double sum = 0.0;

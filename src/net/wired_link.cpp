@@ -3,12 +3,30 @@
 namespace w11 {
 
 void WiredLink::send(TcpSegment seg) {
+  if (!up_) {
+    ++outage_drops_;
+    ++dropped_;
+    return;
+  }
   if (cfg_.queue_packets != 0 && queue_.size() >= cfg_.queue_packets) {
     ++dropped_;
     return;
   }
   queue_.push_back(std::move(seg));
   if (!transmitting_) start_transmit();
+}
+
+void WiredLink::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up_) {
+    // Unplugged mid-burst: everything still queued in the NIC is lost.
+    outage_drops_ += queue_.size();
+    dropped_ += queue_.size();
+    queue_.clear();
+  } else if (!transmitting_ && !queue_.empty()) {
+    start_transmit();
+  }
 }
 
 void WiredLink::start_transmit() {

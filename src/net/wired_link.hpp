@@ -32,12 +32,20 @@ class WiredLink {
   WiredLink(const WiredLink&) = delete;
   WiredLink& operator=(const WiredLink&) = delete;
 
-  // Enqueue a segment; silently dropped if the queue is full (IP semantics).
+  // Enqueue a segment; silently dropped if the queue is full (IP semantics)
+  // or the link is administratively/physically down.
   void send(TcpSegment seg);
+
+  // Outage control (fault injection): a down link drops everything offered
+  // to it — queued segments are lost too, like an unplugged cable. Packets
+  // already serialized onto the wire still arrive (they left the NIC).
+  void set_up(bool up);
+  [[nodiscard]] bool is_up() const { return up_; }
 
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+  [[nodiscard]] std::uint64_t outage_drops() const { return outage_drops_; }
 
  private:
   void start_transmit();
@@ -47,8 +55,10 @@ class WiredLink {
   DeliverFn deliver_;
   std::deque<TcpSegment> queue_;
   bool transmitting_ = false;
+  bool up_ = true;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t outage_drops_ = 0;
 };
 
 }  // namespace w11

@@ -152,6 +152,20 @@ void Testbed::roam(int orig_ap_idx, int client_idx, int to_ap_idx) {
   }
 }
 
+void Testbed::crash_ap(int ap_idx) {
+  AccessPoint& ap = *aps_.at(static_cast<std::size_t>(ap_idx));
+  // Reboot: the AP forgets its queues and associations; clients re-scan and
+  // re-associate (instantaneous here — the TCP-level damage, lost frames
+  // plus lost FastACK state, is what we model).
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].ap_idx != ap_idx) continue;
+    ap.disassociate(clients_[i]->id());
+    ap.associate(clients_[i].get());
+  }
+  auto& agent = agents_.at(static_cast<std::size_t>(ap_idx));
+  if (agent) agent->crash_reset();
+}
+
 std::size_t Testbed::flow_index(int ap_idx, int client_idx) const {
   return static_cast<std::size_t>(ap_idx) *
              static_cast<std::size_t>(cfg_.n_clients_per_ap) +

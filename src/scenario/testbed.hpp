@@ -88,6 +88,20 @@ class Testbed {
   // roam mid-run. No-op if already there.
   void roam(int orig_ap_idx, int client_idx, int to_ap_idx);
 
+  // --- fault-injection surface ------------------------------------------
+  // AP crash/reboot: every queued downlink frame is lost, clients
+  // re-associate, and the FastACK agent's flow table is gone (the paper's
+  // §5.5.4 state-loss corner case). Senders recover end to end. Call from a
+  // scheduled simulator event to crash mid-run.
+  void crash_ap(int ap_idx);
+  // Wired links (per AP) for outage/flap injection, and mutable agent
+  // access for anomaly injection.
+  [[nodiscard]] WiredLink& down_link(int ap_idx) { return *down_links_.at(static_cast<std::size_t>(ap_idx)); }
+  [[nodiscard]] WiredLink& up_link(int ap_idx) { return *up_links_.at(static_cast<std::size_t>(ap_idx)); }
+  [[nodiscard]] fastack::FastAckAgent* agent_mut(int idx) {
+    return agents_.at(static_cast<std::size_t>(idx)).get();
+  }
+
   // --- results (valid after run()) --------------------------------------
   // Goodput summed over every client of every AP, measured post-warmup.
   [[nodiscard]] double aggregate_throughput_mbps() const;

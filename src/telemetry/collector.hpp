@@ -17,9 +17,22 @@ class NetworkCollector {
                    {"total_throughput_mbps", "total_offered_mbps",
                     "channel_switches"}) {}
 
-  // Record one polling interval.
-  void record(const flowsim::Network& net, const flowsim::Evaluation& ev,
+  // Drop the next `count` polling intervals on the floor (fault injection:
+  // the collection pipeline loses samples; dashboards must tolerate gaps).
+  void drop_next(int count) { drop_pending_ += count; }
+  [[nodiscard]] std::uint64_t records_dropped() const { return records_dropped_; }
+  [[nodiscard]] std::uint64_t records_written() const { return records_written_; }
+
+  // Record one polling interval. Returns false when the interval was lost
+  // to an injected collection fault.
+  bool record(const flowsim::Network& net, const flowsim::Evaluation& ev,
               Time at) {
+    if (drop_pending_ > 0) {
+      --drop_pending_;
+      ++records_dropped_;
+      return false;
+    }
+    ++records_written_;
     for (const auto& m : ev.per_ap) {
       ap_stats_.insert(m.id.value(), at,
                        {m.throughput_mbps, m.offered_mbps, m.utilization,
@@ -30,6 +43,7 @@ class NetworkCollector {
     net_stats_.insert(0, at,
                       {ev.total_throughput_mbps, ev.total_offered_mbps,
                        static_cast<double>(net.total_switches())});
+    return true;
   }
 
   [[nodiscard]] const LittleTable& ap_stats() const { return ap_stats_; }
@@ -40,6 +54,9 @@ class NetworkCollector {
  private:
   LittleTable ap_stats_;
   LittleTable net_stats_;
+  int drop_pending_ = 0;
+  std::uint64_t records_dropped_ = 0;
+  std::uint64_t records_written_ = 0;
 };
 
 }  // namespace w11::telemetry
