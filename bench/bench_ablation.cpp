@@ -12,7 +12,9 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "core/turboca/plan_context.hpp"
 #include "core/turboca/service.hpp"
+#include "flowsim/scan_index.hpp"
 #include "scenario/testbed.hpp"
 #include "workload/topology.hpp"
 
@@ -26,7 +28,7 @@ void d1_product_vs_sum() {
   // Three APs: plan X starves AP c completely but over-serves a & b; plan Y
   // is balanced. A sum metric prefers X; the product (the paper's choice)
   // must prefer Y because one starved NodeP collapses the whole product.
-  turboca::TurboCA tca({}, Rng(1));
+  const turboca::Params params;
   auto scan_with_util = [&](std::uint32_t id, double util36, double util149) {
     ApScan s;
     s.id = ApId{id};
@@ -51,13 +53,18 @@ void d1_product_vs_sum() {
   const ChannelPlan starving{{ApId{0}, c36}, {ApId{1}, c36}, {ApId{2}, c36}};
   const ChannelPlan balanced{{ApId{0}, c36}, {ApId{1}, c36}, {ApId{2}, c149}};
 
-  auto netp_log = [&](const ChannelPlan& p) { return tca.net_p_log(scans, p); };
+  // One ScanIndex for the whole ablation; both metrics evaluate against it.
+  const flowsim::ScanIndex index(scans, params.neighbor_rssi_floor);
+  auto netp_log = [&](const ChannelPlan& p) {
+    turboca::PlanContext ctx(index, params, p);
+    return ctx.net_p_log();
+  };
   auto netp_sum = [&](const ChannelPlan& p) {
+    turboca::PlanContext ctx(index, params, p);
     double sum = 0.0;
-    for (const auto& s : scans)
-      sum += std::exp(
-          tca.node_p_log(s, p.at(s.id), scans, p, {}) / 2.0);  // linearized
-    return sum;
+    for (std::size_t i = 0; i < index.size(); ++i)
+      sum += std::exp(ctx.node_p_log(i, p.at(index.scan(i).id)) / 2.0);
+    return sum;  // linearized
   };
   std::cout << "  product(log): starving=" << netp_log(starving)
             << " balanced=" << netp_log(balanced) << "\n";

@@ -1,12 +1,21 @@
 // Micro-benchmarks (google-benchmark): costs of the hot paths — event
-// queue, MCS selection, NodeP evaluation, NBO scaling, FastACK datapath,
-// LittleTable ingest/query — to back DESIGN.md's complexity claims.
+// queue, MCS selection, NodeP evaluation, NBO scaling (indexed vs
+// reference), FastACK datapath, LittleTable ingest/query — to back
+// DESIGN.md's complexity claims. Results are also written to
+// BENCH_planner.json (ops/sec + items processed) unless the caller passes
+// its own --benchmark_out.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/fastack/agent.hpp"
+#include "core/turboca/plan_context.hpp"
+#include "core/turboca/reference.hpp"
 #include "core/turboca/turboca.hpp"
 #include "flowsim/network.hpp"
+#include "flowsim/scan_index.hpp"
 #include "phy/mcs.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/littletable.hpp"
@@ -67,17 +76,73 @@ void BM_NodePEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_NodePEvaluation);
 
+// One NBO sweep on the production (ScanIndex + PlanContext) path. The index
+// is built once per scan epoch, as the services do.
 void BM_NboSweep(benchmark::State& state) {
-  const auto scans = campus_scans(static_cast<int>(state.range(0)));
-  turboca::TurboCA tca({}, Rng(2));
+  const int n = static_cast<int>(state.range(0));
+  const turboca::Params params;
+  const flowsim::ScanIndex index(campus_scans(n), params.neighbor_rssi_floor);
+  turboca::TurboCA tca(params, Rng(2));
+  ChannelPlan plan;
+  for (const auto& s : index.scans()) plan[s.id] = s.current;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tca.nbo(index, plan, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NboSweep)->Arg(40)->Arg(200)->Arg(600)->Complexity();
+
+// The same sweep on the preserved reference evaluator — the before/after
+// pair behind the speedup claim in DESIGN.md §9.
+void BM_NboSweepReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto scans = campus_scans(n);
+  turboca::ReferenceEvaluator ref({}, Rng(2));
   ChannelPlan plan;
   for (const auto& s : scans) plan[s.id] = s.current;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tca.nbo(scans, plan, 0));
+    benchmark::DoNotOptimize(ref.nbo(scans, plan, 0));
   }
+  state.SetItemsProcessed(state.iterations() * n);
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_NboSweep)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Complexity();
+BENCHMARK(BM_NboSweepReference)->Arg(40)->Arg(200)->Arg(600)->Complexity();
+
+// Steady-state ACC cost against a warm PlanContext: candidate trial moves
+// evaluated incrementally (mover + overlap-affected neighbors only).
+void BM_AccIncremental(benchmark::State& state) {
+  const turboca::Params params;
+  const flowsim::ScanIndex index(campus_scans(200),
+                                 params.neighbor_rssi_floor);
+  turboca::TurboCA tca(params, Rng(3));
+  turboca::PlanContext ctx(index, params, {});
+  benchmark::DoNotOptimize(ctx.net_p_log());  // warm the term cache
+  const turboca::PsiSet psi(index.size());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t target = i++ % index.size();
+    const Channel best = tca.acc(ctx, target, psi);
+    benchmark::DoNotOptimize(best);
+    ctx.set(target, best);
+    benchmark::DoNotOptimize(ctx.net_p_log());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccIncremental);
+
+// Cost of flattening one scan epoch (amortized over every evaluation the
+// planner stack makes against it).
+void BM_ScanIndexBuild(benchmark::State& state) {
+  const auto scans = campus_scans(static_cast<int>(state.range(0)));
+  const turboca::Params params;
+  for (auto _ : state) {
+    const flowsim::ScanIndex index(scans, params.neighbor_rssi_floor);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanIndexBuild)->Arg(200);
 
 void BM_FlowsimEvaluate(benchmark::State& state) {
   workload::CampusConfig cc;
@@ -155,4 +220,23 @@ BENCHMARK(BM_LittleTableAggregate);
 }  // namespace
 }  // namespace w11
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON report (BENCH_planner.json) so the
+// planner speedup numbers land on disk on every plain run.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_planner.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).starts_with("--benchmark_out=")) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "core/turboca/plan_context.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace w11::turboca {
+
+PlanContext::PlanContext(const flowsim::ScanIndex& index, const Params& params,
+                         const ChannelPlan& initial)
+    : index_(&index), params_(params) {
+  // The contender floor is baked into the index's adjacency; a mismatched
+  // pairing would silently mis-count contenders.
+  W11_CHECK(index.contender_rssi_floor() == params_.neighbor_rssi_floor);
+
+  const std::size_t n = index.size();
+  plan_.reserve(n);
+  plan_ord_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ApScan& s = index.scan(i);
+    const auto it = initial.find(s.id);
+    plan_.push_back(it != initial.end() ? it->second : s.current);
+    plan_ord_.push_back(channels::ordinal(plan_.back()));
+  }
+  for (const auto& [id, c] : initial)
+    if (!index.find(id)) extras_.emplace(id, c);
+
+  term_.assign(n, 0.0);
+  dirty_.assign(n, 1);
+  dirty_list_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    dirty_list_[i] = static_cast<std::uint32_t>(i);
+  touched_.assign(n, 0);
+}
+
+void PlanContext::mark_dirty(std::size_t i) {
+  if (!dirty_[i]) {
+    dirty_[i] = 1;
+    dirty_list_.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+void PlanContext::set(std::size_t i, const Channel& c) {
+  if (plan_[i] == c) return;
+  if (round_active_ && !touched_[i]) {
+    touched_[i] = 1;
+    touched_list_.push_back(static_cast<std::uint32_t>(i));
+    undo_.emplace_back(static_cast<std::uint32_t>(i), plan_[i]);
+  }
+  plan_[i] = c;
+  plan_ord_[i] = channels::ordinal(c);
+  mark_dirty(i);
+  for (std::uint32_t d : index_->dependents(i)) mark_dirty(d);
+}
+
+double PlanContext::net_p_log() {
+  for (std::uint32_t i : dirty_list_) {
+    term_[i] = node_p_log(i, plan_[i]);
+    dirty_[i] = 0;
+  }
+  dirty_list_.clear();
+  double total = 0.0;
+  for (double t : term_) total += t;
+  return total;
+}
+
+double PlanContext::node_p_log(std::size_t i, const Channel& c,
+                               const PsiSet* psi,
+                               const TrialMove* trial) const {
+  const int c_ord = channels::ordinal(c);
+  const double total_load = index_->total_load(i);
+  double log_p = 0.0;
+  const int cw = static_cast<int>(c.width);
+  for (int b = 0; b <= cw; ++b) {
+    double load = index_->load_at(i, static_cast<ChannelWidth>(b), c.width);
+    if (total_load <= 0.0) load = params_.empty_ap_load;
+    if (load <= 0.0) continue;
+    const double metric =
+        channel_metric(i, c, c_ord, static_cast<ChannelWidth>(b), psi, trial);
+    log_p += load * (metric > 1e-12 ? std::log(metric) : kNodePLogFloor);
+  }
+  return log_p;
+}
+
+double PlanContext::channel_metric(std::size_t i, const Channel& c, int c_ord,
+                                   ChannelWidth b, const PsiSet* psi,
+                                   const TrialMove* trial) const {
+  const flowsim::ScanIndex& index = *index_;
+  const ApScan& a = index.scan(i);
+
+  // The b-wide sub-channel of c and its precomputed spectrum aggregates.
+  Channel sub;
+  int sub_ord;
+  if (c_ord >= 0) {
+    sub_ord = channels::sub_channel_ordinal(c_ord, b);
+    sub = channels::by_ordinal(sub_ord);
+  } else {
+    sub = channels::sub_channel(c, b);
+    sub_ord = channels::ordinal(sub);
+  }
+  const flowsim::ScanIndex::ChannelStats st =
+      sub_ord >= 0 ? index.stats(i, sub_ord)
+                   : flowsim::ScanIndex::compute_stats(a, sub);
+
+  // Same-network contenders whose planned channel overlaps the sub-channel.
+  int contenders = 0;
+  for (const flowsim::ScanIndex::Neighbor& nb : index.neighbors(i)) {
+    if (!nb.contender) continue;
+    if (psi && psi->contains(nb.index)) continue;  // ψ: presume they move
+    const bool is_trial = trial && nb.index == trial->index;
+    const int po = is_trial ? trial->ordinal : plan_ord_[nb.index];
+    bool overlaps;
+    if (po >= 0 && sub_ord >= 0) {
+      overlaps = channels::overlaps_ordinal(po, sub_ord);
+    } else {
+      const Channel& pc = is_trial ? trial->channel : plan_[nb.index];
+      overlaps = pc.overlaps(sub);
+    }
+    if (overlaps) ++contenders;
+  }
+
+  const double airtime =
+      std::clamp((1.0 - st.external_util) / (1.0 + contenders), 0.0, 1.0);
+
+  double penalty = 0.0;
+  if (c != a.current) {
+    penalty = params_.switch_penalty;
+    if (a.band == Band::G2_4) penalty = params_.switch_penalty_24ghz;
+    if (a.utilization_current > params_.high_util_threshold)
+      penalty = std::max(penalty, params_.switch_penalty_high_util);
+    if (!a.has_clients) penalty = 0.0;  // nothing to disrupt
+  }
+
+  // capacity(c,b) scales with bandwidth (achievable rate ∝ width); keeping
+  // the metric rate-like (able to exceed 1) is what makes wider channels
+  // win when airtime is available and lose when contention eats the gain.
+  return static_cast<double>(width_mhz(b)) * (airtime * st.quality - penalty);
+}
+
+void PlanContext::begin_round() {
+  W11_CHECK(!round_active_);
+  round_active_ = true;
+}
+
+void PlanContext::commit_round() {
+  W11_CHECK(round_active_);
+  round_active_ = false;
+  undo_.clear();
+  for (std::uint32_t i : touched_list_) touched_[i] = 0;
+  touched_list_.clear();
+}
+
+void PlanContext::rollback_round() {
+  W11_CHECK(round_active_);
+  round_active_ = false;  // cleared first so set() does not re-log
+  for (const auto& [i, prev] : undo_) set(i, prev);
+  undo_.clear();
+  for (std::uint32_t i : touched_list_) touched_[i] = 0;
+  touched_list_.clear();
+}
+
+ChannelPlan PlanContext::snapshot() const {
+  ChannelPlan out = extras_;
+  for (std::size_t i = 0; i < plan_.size(); ++i)
+    out[index_->scan(i).id] = plan_[i];
+  return out;
+}
+
+}  // namespace w11::turboca

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "core/turboca/plan_context.hpp"
+#include "flowsim/scan_index.hpp"
 
 namespace w11::turboca {
 
@@ -69,11 +71,14 @@ bool TurboCaService::run_now(const std::vector<int>& levels) {
     ++stats_.stale_scan_skips;
     return false;
   }
+  // One index per firing, shared across all hop tiers of the schedule.
+  const flowsim::ScanIndex index(std::move(scans),
+                                 engine_.params().neighbor_rssi_floor);
   ChannelPlan plan = hooks_.current_plan();
   bool improved = false;
   double netp = 0.0;
   for (int level : levels) {
-    const TurboCA::RunResult r = engine_.run(scans, plan, level);
+    const TurboCA::RunResult r = engine_.run(index, plan, level);
     plan = r.plan;
     netp = r.netp_log;
     improved = improved || r.improved;
@@ -121,16 +126,20 @@ bool ReservedCaService::run_now() {
     ++stats_.stale_scan_skips;
     return false;
   }
-  ChannelPlan plan = hooks_.current_plan();
-  const std::set<ApId> none;
+  const flowsim::ScanIndex index(std::move(scans),
+                                 engine_.params().neighbor_rssi_floor);
+  PlanContext ctx(index, engine_.params(), hooks_.current_plan());
 
   // Sequential sweep: each AP takes its isolated best channel given
   // everyone else's *current* choice — the locally-optimal trap of §4.3.2.
-  for (const ApScan& s : scans) {
-    ApScan fixed = s;
-    fixed.max_width = std::min(s.max_width, cfg_.fixed_width);
+  // Each score is evaluated against the plan *before* the AP's own trial
+  // (no TrialMove), matching the isolated-decision model.
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    const ApScan& s = index.scan(i);
     // Keep the width fixed: candidates at exactly the configured width
-    // (or 20 MHz on 2.4 GHz).
+    // (or 20 MHz on 2.4 GHz). The clamp only shapes candidate generation;
+    // NodeP never reads max_width.
+    const ChannelWidth fixed_width = std::min(s.max_width, cfg_.fixed_width);
     Channel best = s.current;
     double best_score = -std::numeric_limits<double>::infinity();
     const bool allow_dfs = s.dfs_capable && !s.has_clients;
@@ -138,24 +147,25 @@ bool ReservedCaService::run_now() {
     if (s.band == Band::G2_4) {
       cands = channels::us_catalog(Band::G2_4, ChannelWidth::MHz20);
     } else {
-      cands = channels::us_catalog(Band::G5, fixed.max_width);
+      cands = channels::us_catalog(Band::G5, fixed_width);
       std::erase_if(cands, [&](const Channel& c) {
         return !allow_dfs && c.is_dfs();
       });
       if (cands.empty())
-        cands = channels::candidate_set(Band::G5, fixed.max_width, allow_dfs);
+        cands = channels::candidate_set(Band::G5, fixed_width, allow_dfs);
     }
     if (std::find(cands.begin(), cands.end(), s.current) == cands.end())
       cands.push_back(s.current);
     for (const Channel& c : cands) {
-      const double score = engine_.node_p_log(fixed, c, scans, plan, none);
+      const double score = ctx.node_p_log(i, c);
       if (score > best_score + 1e-9) {
         best_score = score;
         best = c;
       }
     }
-    plan[s.id] = best;
+    ctx.set(i, best);
   }
+  const ChannelPlan plan = ctx.snapshot();
 
   const ChannelPlan before = hooks_.current_plan();
   int switches = 0;

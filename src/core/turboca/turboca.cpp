@@ -2,164 +2,211 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <limits>
 #include <queue>
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "core/turboca/plan_context.hpp"
+#include "core/turboca/reference.hpp"
 
 namespace w11::turboca {
-
-namespace {
-
-constexpr double kLogFloor = -40.0;  // log of an effectively-zero metric
-
-// The b-wide channel containing `c`'s primary 20 MHz sub-channel.
-Channel sub_channel(const Channel& c, ChannelWidth b) {
-  if (b == c.width) return c;
-  const Channel prim = c.primary20();
-  if (b == ChannelWidth::MHz20) return prim;
-  for (const Channel& cand : channels::us_catalog(c.band, b)) {
-    for (int comp : cand.components())
-      if (comp == prim.number) return cand;
-  }
-  return prim;  // no bonded container exists; degrade to primary
-}
-
-const ApScan* find_scan(const std::vector<ApScan>& scans, ApId id) {
-  for (const auto& s : scans)
-    if (s.id == id) return &s;
-  return nullptr;
-}
-
-Channel planned_channel(const ApScan& s, const ChannelPlan& plan) {
-  const auto it = plan.find(s.id);
-  return it != plan.end() ? it->second : s.current;
-}
-
-}  // namespace
 
 TurboCA::TurboCA(Params params, Rng rng)
     : params_(params), rng_(std::move(rng)) {}
 
-double TurboCA::channel_metric(const ApScan& a, const Channel& c,
-                               ChannelWidth b, const std::vector<ApScan>& scans,
-                               const ChannelPlan& plan,
-                               const std::set<ApId>& ignore) const {
-  const Channel sub = sub_channel(c, b);
+Channel TurboCA::acc(const PlanContext& ctx, std::size_t target,
+                     const PsiSet& psi) const {
+  const flowsim::ScanIndex& index = ctx.index();
+  const ApScan& a = index.scan(target);
 
-  // External (non-network) utilization on the sub-channel: worst component.
-  double ext = 0.0;
-  double quality = 1.0;
-  int comps = 0;
-  for (int comp : sub.components()) {
-    const auto u = a.external_util.find(comp);
-    if (u != a.external_util.end()) ext = std::max(ext, u->second);
-    const auto q = a.quality.find(comp);
-    quality += (q != a.quality.end() ? q->second : 1.0);
-    ++comps;
-  }
-  quality = (quality - 1.0) / std::max(comps, 1);
-
-  // Same-network contenders whose planned channel overlaps the sub-channel.
-  int contenders = 0;
-  for (const NeighborReport& nb : a.neighbors) {
-    if (nb.rssi < params_.neighbor_rssi_floor) continue;
-    if (ignore.contains(nb.id)) continue;  // ψ: presume they will move
-    const ApScan* ns = find_scan(scans, nb.id);
-    if (ns == nullptr) continue;
-    if (planned_channel(*ns, plan).overlaps(sub)) ++contenders;
-  }
-
-  const double airtime =
-      std::clamp((1.0 - ext) / (1.0 + contenders), 0.0, 1.0);
-
-  double penalty = 0.0;
-  if (c != a.current) {
-    penalty = params_.switch_penalty;
-    if (a.band == Band::G2_4) penalty = params_.switch_penalty_24ghz;
-    if (a.utilization_current > params_.high_util_threshold)
-      penalty = std::max(penalty, params_.switch_penalty_high_util);
-    if (!a.has_clients) penalty = 0.0;  // nothing to disrupt
-  }
-
-  // capacity(c,b) scales with bandwidth (achievable rate ∝ width); keeping
-  // the metric rate-like (able to exceed 1) is what makes wider channels
-  // win when airtime is available and lose when contention eats the gain.
-  return static_cast<double>(width_mhz(b)) * (airtime * quality - penalty);
-}
-
-double TurboCA::node_p_log(const ApScan& a, const Channel& c,
-                           const std::vector<ApScan>& scans,
-                           const ChannelPlan& plan,
-                           const std::set<ApId>& ignore) const {
-  double log_p = 0.0;
-  for (ChannelWidth b : widths_up_to(c.width)) {
-    // load(b): clients whose *usable* width at this assignment is b, i.e.
-    // min(client max width, cw). Clients wider than the candidate channel
-    // still load its top layer — narrowing an AP never makes its clients
-    // disappear from the metric. Clientless APs get a small uniform load
-    // so they weakly prefer clean (and wide) channels.
-    double load = 0.0;
-    for (const auto& [w, l] : a.load_by_width) {
-      if (std::min(w, c.width) == b) load += l;
-    }
-    if (a.total_load() <= 0.0) load = params_.empty_ap_load;
-    if (load <= 0.0) continue;
-    const double metric = channel_metric(a, c, b, scans, plan, ignore);
-    log_p += load * (metric > 1e-12 ? std::log(metric) : kLogFloor);
-  }
-  return log_p;
-}
-
-double TurboCA::net_p_log(const std::vector<ApScan>& scans,
-                          const ChannelPlan& plan) const {
-  double total = 0.0;
-  const std::set<ApId> none;
-  for (const ApScan& s : scans)
-    total += node_p_log(s, planned_channel(s, plan), scans, plan, none);
-  return total;
-}
-
-std::vector<Channel> TurboCA::candidates_for(const ApScan& a) const {
-  // §4.5.2: an AP with connected clients must not move to a DFS channel
-  // (the CAC would strand them); DFS-incapable hardware never can.
-  const bool allow_dfs = a.dfs_capable && !a.has_clients;
-  std::vector<Channel> cands =
-      channels::candidate_set(a.band, a.max_width, allow_dfs);
-  // The current channel is always a candidate (e.g. the AP already sits on
-  // a DFS channel it may keep).
-  if (std::find(cands.begin(), cands.end(), a.current) == cands.end())
-    cands.push_back(a.current);
-  return cands;
-}
-
-Channel TurboCA::acc(const ApScan& target, const std::vector<ApScan>& scans,
-                     const ChannelPlan& plan, const std::set<ApId>& psi) const {
   // Only target and its neighbors change NodeP when target moves (§4.4.2).
-  std::vector<const ApScan*> affected;
-  for (const NeighborReport& nb : target.neighbors) {
-    if (psi.contains(nb.id)) continue;
-    if (const ApScan* s = find_scan(scans, nb.id)) affected.push_back(s);
+  // Note: the affected list deliberately ignores the contender RSSI floor
+  // (a sub-floor neighbor's own term can still shift if it hears us).
+  std::vector<std::uint32_t> affected;
+  affected.reserve(index.neighbors(target).size());
+  for (const flowsim::ScanIndex::Neighbor& nb : index.neighbors(target)) {
+    if (psi.contains(nb.index)) continue;
+    affected.push_back(nb.index);
   }
 
-  Channel best = target.current;
+  const std::vector<Channel>& cands = index.candidates(target);
+  const std::vector<int>& cand_ords = index.candidate_ordinals(target);
+
+  Channel best = a.current;
   double best_score = -std::numeric_limits<double>::infinity();
-  ChannelPlan working = plan;
-  for (const Channel& c : candidates_for(target)) {
-    working[target.id] = c;
-    double score = node_p_log(target, c, scans, working, psi);
-    for (const ApScan* nb : affected)
-      score +=
-          node_p_log(*nb, planned_channel(*nb, working), scans, working, psi);
+  for (std::size_t k = 0; k < cands.size(); ++k) {
+    const Channel& c = cands[k];
+    // Score the move target→c against the context without committing it.
+    const PlanContext::TrialMove trial{target, c, cand_ords[k]};
+    double score = ctx.node_p_log(target, c, &psi, &trial);
+    for (std::uint32_t nbi : affected) {
+      const Channel& nc = nbi == target ? c : ctx.channel_of(nbi);
+      score += ctx.node_p_log(nbi, nc, &psi, &trial);
+    }
     // Deterministic tie-break preferring the incumbent channel (stability).
     if (score > best_score + 1e-9 ||
-        (std::abs(score - best_score) <= 1e-9 && c == target.current)) {
+        (std::abs(score - best_score) <= 1e-9 && c == a.current)) {
       best_score = score;
       best = c;
     }
   }
   return best;
+}
+
+void TurboCA::nbo_sweep(PlanContext& ctx, int hop_limit) {
+  // Algorithm 1, applied to `ctx` in place. Draws the exact RNG sequence of
+  // the reference NBO so plans stay bit-identical.
+  const flowsim::ScanIndex& index = ctx.index();
+  const std::size_t n = index.size();
+
+  std::vector<std::uint32_t> s_set(n);  // S <- V
+  for (std::size_t i = 0; i < n; ++i) s_set[i] = static_cast<std::uint32_t>(i);
+
+  // Token-stamped BFS scratch (one allocation per sweep, O(1) reset).
+  std::vector<std::uint32_t> visited(n, 0);
+  std::uint32_t token = 0;
+  std::vector<std::pair<std::uint32_t, int>> frontier;
+
+  PsiSet psi(n);
+  std::vector<std::uint32_t> group;
+  std::vector<double> weights;
+
+  while (!s_set.empty()) {
+    // line 4: random unassigned AP n.
+    const std::size_t pick = rng_.index(s_set.size());
+    const std::uint32_t seed = s_set[pick];
+
+    // line 5: hop-limited neighborhood of the seed (BFS over the epoch's
+    // adjacency; absent neighbor ids can never enter S, so skipping them
+    // here matches the id-based reference BFS).
+    ++token;
+    frontier.clear();
+    visited[seed] = token;
+    frontier.emplace_back(seed, 0);
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const auto [v, depth] = frontier[head];
+      if (depth >= hop_limit) continue;
+      for (const flowsim::ScanIndex::Neighbor& nb : index.neighbors(v)) {
+        if (visited[nb.index] != token) {
+          visited[nb.index] = token;
+          frontier.emplace_back(nb.index, depth + 1);
+        }
+      }
+    }
+
+    // line 5/6: S_group = S ∩ hood, S -= S_group.
+    group.clear();
+    for (std::uint32_t i : s_set)
+      if (visited[i] == token) group.push_back(i);
+    std::erase_if(s_set, [&](std::uint32_t i) { return visited[i] == token; });
+
+    // lines 7-11: drain the group, load-weighted (§4.4.3: heavily loaded
+    // APs pick earlier and get first choice of clean channels). ψ is the
+    // set of still-undrained group members; it shrinks by one erase per
+    // pick instead of being rebuilt per iteration.
+    psi.clear();
+    for (std::uint32_t i : group) psi.insert(i);
+    while (!group.empty()) {
+      std::size_t mi;
+      if (params_.load_weighted_pick) {
+        weights.clear();
+        weights.reserve(group.size());
+        for (std::uint32_t i : group)
+          weights.push_back(0.05 + index.total_load(i));
+        mi = rng_.weighted_index(weights);
+      } else {
+        mi = rng_.index(group.size());
+      }
+      const std::uint32_t m = group[mi];
+      group.erase(group.begin() + static_cast<std::ptrdiff_t>(mi));
+      psi.erase(m);
+
+      ctx.set(m, acc(ctx, m, psi));
+    }
+  }
+}
+
+ChannelPlan TurboCA::nbo(const flowsim::ScanIndex& index,
+                         const ChannelPlan& current, int hop_limit) {
+  PlanContext ctx(index, params_, current);
+  nbo_sweep(ctx, hop_limit);
+  return ctx.snapshot();
+}
+
+TurboCA::RunResult TurboCA::run(const flowsim::ScanIndex& index,
+                                const ChannelPlan& current, int hop_limit) {
+  const int n = static_cast<int>(index.size());
+  const int rounds = std::clamp(n / params_.runs_divisor, params_.runs_min,
+                                params_.runs_max);
+
+  PlanContext ctx(index, params_, current);
+
+  RunResult result;
+  result.plan = current;
+  result.netp_log = ctx.net_p_log();
+
+  for (int r = 0; r < rounds; ++r) {
+    // §4.4.4: whenever a round improves NetP, the proposal becomes the
+    // baseline for following rounds; otherwise it is rolled back in place
+    // (only the channels the sweep touched are restored and rescored).
+    ctx.begin_round();
+    nbo_sweep(ctx, hop_limit);
+    const double netp = ctx.net_p_log();
+    if (netp > result.netp_log + 1e-9) {
+      ctx.commit_round();
+      result.netp_log = netp;
+      result.improved = true;
+    } else {
+      ctx.rollback_round();
+    }
+  }
+  if (result.improved) result.plan = ctx.snapshot();
+  return result;
+}
+
+// ---- scan-vector compatibility layer --------------------------------------
+
+double TurboCA::node_p_log(const ApScan& a, const Channel& c,
+                           const std::vector<ApScan>& scans,
+                           const ChannelPlan& plan,
+                           const std::set<ApId>& ignore) const {
+  // `a` need not be (or match) any scan in `scans`, so this cannot go
+  // through an index; the reference formula handles the general case.
+  return reference::node_p_log(params_, a, c, scans, plan, ignore);
+}
+
+double TurboCA::net_p_log(const std::vector<ApScan>& scans,
+                          const ChannelPlan& plan) const {
+  const flowsim::ScanIndex index(scans, params_.neighbor_rssi_floor);
+  PlanContext ctx(index, params_, plan);
+  return ctx.net_p_log();
+}
+
+Channel TurboCA::acc(const ApScan& target, const std::vector<ApScan>& scans,
+                     const ChannelPlan& plan, const std::set<ApId>& psi) const {
+  const flowsim::ScanIndex index(scans, params_.neighbor_rssi_floor);
+  const auto ti = index.find(target.id);
+  W11_CHECK(ti.has_value());
+  const PlanContext ctx(index, params_, plan);
+  PsiSet pset(index.size());
+  for (ApId id : psi) {
+    // ψ ids absent from the epoch can never be contenders anyway.
+    if (const auto i = index.find(id)) pset.insert(*i);
+  }
+  return acc(ctx, *ti, pset);
+}
+
+ChannelPlan TurboCA::nbo(const std::vector<ApScan>& scans,
+                         const ChannelPlan& current, int hop_limit) {
+  const flowsim::ScanIndex index(scans, params_.neighbor_rssi_floor);
+  return nbo(index, current, hop_limit);
+}
+
+TurboCA::RunResult TurboCA::run(const std::vector<ApScan>& scans,
+                                const ChannelPlan& current, int hop_limit) {
+  const flowsim::ScanIndex index(scans, params_.neighbor_rssi_floor);
+  return run(index, current, hop_limit);
 }
 
 std::set<ApId> hop_neighborhood(const std::vector<ApScan>& scans, ApId from,
@@ -181,83 +228,6 @@ std::set<ApId> hop_neighborhood(const std::vector<ApScan>& scans, ApId from,
     }
   }
   return seen;
-}
-
-ChannelPlan TurboCA::nbo(const std::vector<ApScan>& scans,
-                         const ChannelPlan& current, int hop_limit) {
-  // Algorithm 1. PCP starts from the *current* assignment so that
-  // planned_channel() resolves unassigned APs to their live channel; the
-  // explicit PCP-membership set tracks which APs have been (re)assigned.
-  ChannelPlan pcp = current;
-
-  std::vector<ApId> s_set;  // S <- V
-  for (const auto& s : scans) s_set.push_back(s.id);
-
-  std::unordered_map<ApId, const ApScan*> by_id;
-  for (const auto& s : scans) by_id[s.id] = &s;
-
-  while (!s_set.empty()) {
-    // line 4: random unassigned AP n.
-    const std::size_t pick = rng_.index(s_set.size());
-    const ApId n = s_set[pick];
-
-    // line 5: S_group = n + APs within i hops, still in S.
-    const std::set<ApId> hood = hop_neighborhood(scans, n, hop_limit);
-    std::vector<ApId> group;
-    for (ApId id : s_set)
-      if (hood.contains(id)) group.push_back(id);
-
-    // line 6: S -= S_group.
-    std::erase_if(s_set, [&](ApId id) { return hood.contains(id); });
-
-    // lines 7-11: drain the group, load-weighted (§4.4.3: heavily loaded
-    // APs pick earlier and get first choice of clean channels).
-    while (!group.empty()) {
-      std::size_t mi;
-      if (params_.load_weighted_pick) {
-        std::vector<double> weights;
-        weights.reserve(group.size());
-        for (ApId id : group) {
-          const ApScan* s = by_id.at(id);
-          weights.push_back(0.05 + s->total_load());
-        }
-        mi = rng_.weighted_index(weights);
-      } else {
-        mi = rng_.index(group.size());
-      }
-      const ApId m = group[mi];
-      group.erase(group.begin() + static_cast<std::ptrdiff_t>(mi));
-
-      const std::set<ApId> psi(group.begin(), group.end());
-      const ApScan* ms = by_id.at(m);
-      pcp[m] = acc(*ms, scans, pcp, psi);
-    }
-  }
-  return pcp;
-}
-
-TurboCA::RunResult TurboCA::run(const std::vector<ApScan>& scans,
-                                const ChannelPlan& current, int hop_limit) {
-  const int n = static_cast<int>(scans.size());
-  const int rounds = std::clamp(n / params_.runs_divisor, params_.runs_min,
-                                params_.runs_max);
-
-  RunResult result;
-  result.plan = current;
-  result.netp_log = net_p_log(scans, current);
-
-  for (int r = 0; r < rounds; ++r) {
-    // §4.4.4: whenever a run improves NetP, the proposal becomes the
-    // baseline for following rounds.
-    const ChannelPlan proposal = nbo(scans, result.plan, hop_limit);
-    const double netp = net_p_log(scans, proposal);
-    if (netp > result.netp_log + 1e-9) {
-      result.plan = proposal;
-      result.netp_log = netp;
-      result.improved = true;
-    }
-  }
-  return result;
 }
 
 }  // namespace w11::turboca

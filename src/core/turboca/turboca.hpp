@@ -21,15 +21,29 @@
 // ignoring the APs in ψ; NBO (Algorithm 1) sweeps the network in random
 // groups bounded by hop limit i; the service layer (service.hpp) runs the
 // i = 0/1/2 cadence.
+//
+// Evaluation runs on the PlanContext layer (plan_context.hpp): the caller
+// builds one flowsim::ScanIndex per scan epoch and every ACC/NBO/run call
+// evaluates NodeP terms incrementally against it. The pre-index path is
+// preserved in reference.hpp (ReferenceEvaluator) as the behavioural
+// oracle; the two are bit-for-bit equivalent (tests/test_planner_golden).
 
 #include <set>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "flowsim/scan.hpp"
+#include "flowsim/scan_index.hpp"
 #include "phy/channel.hpp"
 
 namespace w11::turboca {
+
+class PlanContext;
+class PsiSet;
+
+// log of an effectively-zero metric (shared by the indexed and reference
+// evaluation paths — the two must stay bit-identical).
+inline constexpr double kNodePLogFloor = -40.0;
 
 struct Params {
   // Penalty subtracted from channel_metric when c differs from the current
@@ -57,49 +71,64 @@ class TurboCA {
  public:
   TurboCA(Params params, Rng rng);
 
-  // log NodeP of AP `a` operating on channel `c`, with neighbor channels
-  // resolved from `plan` (falling back to their scan's current channel) and
-  // the APs in `ignore` excluded from contention counting (the ψ of ACC).
-  [[nodiscard]] double node_p_log(const ApScan& a, const Channel& c,
-                                  const std::vector<ApScan>& scans,
-                                  const ChannelPlan& plan,
-                                  const std::set<ApId>& ignore) const;
-
-  // log NetP of a complete plan.
-  [[nodiscard]] double net_p_log(const std::vector<ApScan>& scans,
-                                 const ChannelPlan& plan) const;
-
-  // ACC(v, ψ): best channel for `target` maximizing NetP over target and
-  // its neighbors, ignoring ψ (§4.4.2).
-  [[nodiscard]] Channel acc(const ApScan& target,
-                            const std::vector<ApScan>& scans,
-                            const ChannelPlan& plan,
-                            const std::set<ApId>& psi) const;
-
-  // NBO (Algorithm 1): one full sweep with hop limit `i`. `current` supplies
-  // channels for APs not yet assigned in the proposed plan.
-  [[nodiscard]] ChannelPlan nbo(const std::vector<ApScan>& scans,
-                                const ChannelPlan& current, int hop_limit);
-
-  // Multiple NBO rounds at the given hop limit; returns the best plan found
-  // if it beats `current`, else `current` (§4.4.4).
   struct RunResult {
     ChannelPlan plan;
     double netp_log = 0.0;
     bool improved = false;
   };
+
+  // ---- indexed API (the production path) --------------------------------
+  // Callers build one flowsim::ScanIndex per scan epoch (with this
+  // engine's neighbor_rssi_floor) and share it across calls.
+
+  // ACC(v, ψ): best channel for the AP at `target` maximizing NetP over it
+  // and its neighbors, ignoring ψ (§4.4.2). Evaluates trial moves against
+  // `ctx` without mutating it.
+  [[nodiscard]] Channel acc(const PlanContext& ctx, std::size_t target,
+                            const PsiSet& psi) const;
+
+  // NBO (Algorithm 1): one full sweep with hop limit `i`. `current`
+  // supplies channels for APs not yet assigned in the proposed plan.
+  [[nodiscard]] ChannelPlan nbo(const flowsim::ScanIndex& index,
+                                const ChannelPlan& current, int hop_limit);
+
+  // Multiple NBO rounds at the given hop limit; returns the best plan found
+  // if it beats `current`, else `current` (§4.4.4). Non-improving rounds
+  // are rolled back in place — only touched NodeP terms are rescored.
+  [[nodiscard]] RunResult run(const flowsim::ScanIndex& index,
+                              const ChannelPlan& current, int hop_limit);
+
+  // ---- scan-vector API --------------------------------------------------
+  // Compatibility overloads for callers holding raw scans; each call
+  // builds a throwaway index (acc/nbo/run) or evaluates the reference
+  // formula directly (node_p_log, which must accept an `a` that is not —
+  // or differs from — any indexed scan).
+
+  [[nodiscard]] double node_p_log(const ApScan& a, const Channel& c,
+                                  const std::vector<ApScan>& scans,
+                                  const ChannelPlan& plan,
+                                  const std::set<ApId>& ignore) const;
+
+  [[nodiscard]] double net_p_log(const std::vector<ApScan>& scans,
+                                 const ChannelPlan& plan) const;
+
+  // `target` must be an element of `scans` (matched by id).
+  [[nodiscard]] Channel acc(const ApScan& target,
+                            const std::vector<ApScan>& scans,
+                            const ChannelPlan& plan,
+                            const std::set<ApId>& psi) const;
+
+  [[nodiscard]] ChannelPlan nbo(const std::vector<ApScan>& scans,
+                                const ChannelPlan& current, int hop_limit);
+
   [[nodiscard]] RunResult run(const std::vector<ApScan>& scans,
                               const ChannelPlan& current, int hop_limit);
 
   [[nodiscard]] const Params& params() const { return params_; }
 
  private:
-  [[nodiscard]] double channel_metric(const ApScan& a, const Channel& c,
-                                      ChannelWidth b,
-                                      const std::vector<ApScan>& scans,
-                                      const ChannelPlan& plan,
-                                      const std::set<ApId>& ignore) const;
-  [[nodiscard]] std::vector<Channel> candidates_for(const ApScan& a) const;
+  // One NBO sweep applied to `ctx` in place.
+  void nbo_sweep(PlanContext& ctx, int hop_limit);
 
   Params params_;
   mutable Rng rng_;

@@ -1,0 +1,109 @@
+#include "flowsim/scan_index.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace w11::flowsim {
+
+ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor)
+    : scans_(std::move(scans)), floor_(contender_rssi_floor) {
+  const std::size_t n = scans_.size();
+  n_ordinals_ = channels::catalog_size();
+  by_id_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    by_id_.emplace(scans_[i].id, static_cast<std::uint32_t>(i));
+
+  recs_.resize(n);
+  stats_.resize(n * n_ordinals_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ApScan& s = scans_[i];
+    ApRecord& r = recs_[i];
+
+    // Adjacency restricted to APs present in this epoch, scan-report order.
+    r.nbr_begin = static_cast<std::uint32_t>(nbr_flat_.size());
+    for (const NeighborReport& nb : s.neighbors) {
+      const auto it = by_id_.find(nb.id);
+      if (it == by_id_.end()) continue;
+      nbr_flat_.push_back(Neighbor{it->second, !(nb.rssi < floor_)});
+    }
+    r.nbr_end = static_cast<std::uint32_t>(nbr_flat_.size());
+
+    // load(b) per assigned channel width, accumulated in the same (map)
+    // order the reference metric iterates so sums are bit-identical.
+    r.total_load = s.total_load();
+    for (int cw = 0; cw < 4; ++cw) {
+      for (int b = 0; b <= cw; ++b) {
+        double load = 0.0;
+        for (const auto& [w, l] : s.load_by_width) {
+          if (std::min(static_cast<int>(w), cw) == b) load += l;
+        }
+        r.load_at[b][cw] = load;
+      }
+    }
+
+    // Candidate set (§4.5.2: an AP with connected clients must not move to
+    // a DFS channel; DFS-incapable hardware never can). The current channel
+    // is always a candidate.
+    const bool allow_dfs = s.dfs_capable && !s.has_clients;
+    r.candidates = channels::candidate_set(s.band, s.max_width, allow_dfs);
+    if (std::find(r.candidates.begin(), r.candidates.end(), s.current) ==
+        r.candidates.end())
+      r.candidates.push_back(s.current);
+    r.candidate_ordinals.reserve(r.candidates.size());
+    for (const Channel& c : r.candidates)
+      r.candidate_ordinals.push_back(channels::ordinal(c));
+
+    // Per-catalog-channel aggregates.
+    for (std::size_t ord = 0; ord < n_ordinals_; ++ord)
+      stats_[i * n_ordinals_ + ord] =
+          compute_stats(s, channels::by_ordinal(static_cast<int>(ord)));
+  }
+
+  // Reverse contender edges: dependents(x) = { a : x is a contender-eligible
+  // neighbor of a }. Counting sort into one flat array.
+  std::vector<std::uint32_t> counts(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (const Neighbor& nb : neighbors(i))
+      if (nb.contender) ++counts[nb.index];
+  dep_flat_.resize(std::accumulate(counts.begin(), counts.end(),
+                                   std::size_t{0}));
+  std::uint32_t offset = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    recs_[i].dep_begin = offset;
+    offset += counts[i];
+    recs_[i].dep_end = recs_[i].dep_begin;  // fill cursor
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (const Neighbor& nb : neighbors(i))
+      if (nb.contender) dep_flat_[recs_[nb.index].dep_end++] = static_cast<std::uint32_t>(i);
+}
+
+std::optional<std::size_t> ScanIndex::find(ApId id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+ScanIndex::ChannelStats ScanIndex::compute_stats(const ApScan& a,
+                                                 const Channel& sub) {
+  // Mirrors the reference metric exactly: worst-component external
+  // utilization, mean component quality with missing components counted
+  // as clean (1.0). Keep the arithmetic order stable — indexed evaluation
+  // must be bit-identical to the reference evaluator.
+  ChannelStats st;
+  double ext = 0.0;
+  double quality = 1.0;
+  int comps = 0;
+  for (int comp : sub.component_span()) {
+    const auto u = a.external_util.find(comp);
+    if (u != a.external_util.end()) ext = std::max(ext, u->second);
+    const auto q = a.quality.find(comp);
+    quality += (q != a.quality.end() ? q->second : 1.0);
+    ++comps;
+  }
+  st.external_util = ext;
+  st.quality = (quality - 1.0) / std::max(comps, 1);
+  return st;
+}
+
+}  // namespace w11::flowsim

@@ -1,0 +1,122 @@
+#pragma once
+// ScanIndex: a flattened, immutable index over one scan epoch.
+//
+// The planner stack (TurboCA / ReservedCA / hopping) used to pass raw
+// `std::vector<ApScan>` around and re-derive everything per evaluation:
+// linear `find_scan` per neighbor lookup, catalog walks per sub-channel
+// resolution, fresh id→scan hash maps per sweep. ScanIndex does that work
+// once per scan epoch:
+//
+//   * contiguous per-AP records with an id→index map;
+//   * adjacency lists restricted to APs present in the epoch, with the
+//     contender RSSI floor pre-applied, plus the reverse ("who counts me
+//     as a contender") edges that bound the invalidation set of a move;
+//   * per-AP candidate channel sets (band/max-width/DFS rule, current
+//     channel always included);
+//   * per-(AP, catalog channel) external-utilization / quality aggregates,
+//     folded with exactly the arithmetic the NodeP metric uses so indexed
+//     evaluation is bit-for-bit identical to the reference path.
+//
+// A ScanIndex owns its scans and is immutable after construction: when a
+// new census arrives, build a new index (services build one per firing and
+// share it across all hop tiers of that firing).
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "flowsim/scan.hpp"
+#include "phy/channel.hpp"
+
+namespace w11::flowsim {
+
+class ScanIndex {
+ public:
+  // Spectrum aggregates of one catalog channel as seen by one AP.
+  struct ChannelStats {
+    double external_util = 0.0;  // worst 20 MHz component external util
+    double quality = 1.0;        // mean 20 MHz component quality
+  };
+
+  struct Neighbor {
+    std::uint32_t index;  // position of the neighbor's scan in scans()
+    bool contender;       // rssi >= the contender RSSI floor
+  };
+
+  explicit ScanIndex(
+      std::vector<ApScan> scans,
+      Dbm contender_rssi_floor = -std::numeric_limits<double>::infinity());
+
+  [[nodiscard]] std::size_t size() const { return scans_.size(); }
+  [[nodiscard]] const std::vector<ApScan>& scans() const { return scans_; }
+  [[nodiscard]] const ApScan& scan(std::size_t i) const { return scans_[i]; }
+  [[nodiscard]] Dbm contender_rssi_floor() const { return floor_; }
+
+  [[nodiscard]] std::optional<std::size_t> find(ApId id) const;
+
+  // Neighbors present in this epoch, in scan-report order.
+  [[nodiscard]] std::span<const Neighbor> neighbors(std::size_t i) const {
+    const ApRecord& r = recs_[i];
+    return {nbr_flat_.data() + r.nbr_begin, r.nbr_end - r.nbr_begin};
+  }
+
+  // APs whose contention depends on i's channel (reverse contender edges):
+  // the exact set of NodeP terms invalidated by moving AP i.
+  [[nodiscard]] std::span<const std::uint32_t> dependents(
+      std::size_t i) const {
+    const ApRecord& r = recs_[i];
+    return {dep_flat_.data() + r.dep_begin, r.dep_end - r.dep_begin};
+  }
+
+  // Candidate channels for AP i (catalog set under the DFS rule of §4.5.2,
+  // with the current channel always included) and their catalog ordinals.
+  [[nodiscard]] const std::vector<Channel>& candidates(std::size_t i) const {
+    return recs_[i].candidates;
+  }
+  [[nodiscard]] const std::vector<int>& candidate_ordinals(
+      std::size_t i) const {
+    return recs_[i].candidate_ordinals;
+  }
+
+  // Aggregates of catalog channel `ord` as seen by AP i.
+  [[nodiscard]] const ChannelStats& stats(std::size_t i, int ord) const {
+    return stats_[i * n_ordinals_ + static_cast<std::size_t>(ord)];
+  }
+  // Same arithmetic for channels outside the catalog (rare fallback).
+  [[nodiscard]] static ChannelStats compute_stats(const ApScan& a,
+                                                  const Channel& sub);
+
+  // load(b) of the NodeP formula for an AP assigned a cw-wide channel.
+  [[nodiscard]] double load_at(std::size_t i, ChannelWidth b,
+                               ChannelWidth cw) const {
+    return recs_[i].load_at[static_cast<int>(b)][static_cast<int>(cw)];
+  }
+  [[nodiscard]] double total_load(std::size_t i) const {
+    return recs_[i].total_load;
+  }
+
+ private:
+  struct ApRecord {
+    std::uint32_t nbr_begin = 0, nbr_end = 0;
+    std::uint32_t dep_begin = 0, dep_end = 0;
+    double total_load = 0.0;
+    double load_at[4][4] = {};  // [b][cw]
+    std::vector<Channel> candidates;
+    std::vector<int> candidate_ordinals;
+  };
+
+  std::vector<ApScan> scans_;
+  Dbm floor_;
+  std::size_t n_ordinals_ = 0;
+  std::unordered_map<ApId, std::uint32_t> by_id_;
+  std::vector<ApRecord> recs_;
+  std::vector<Neighbor> nbr_flat_;
+  std::vector<std::uint32_t> dep_flat_;
+  std::vector<ChannelStats> stats_;
+};
+
+}  // namespace w11::flowsim

@@ -39,16 +39,25 @@ double Channel::center_mhz() const {
   return 5000.0 + 5.0 * number;
 }
 
-std::vector<int> Channel::components() const {
-  if (band == Band::G2_4 || width == ChannelWidth::MHz20) return {number};
+ComponentSpan Channel::component_span() const {
+  ComponentSpan out;
+  if (band == Band::G2_4 || width == ChannelWidth::MHz20) {
+    out.comp[0] = number;
+    out.count = 1;
+    return out;
+  }
   // Bonded 5 GHz channel: 20 MHz components sit at centre ± odd multiples
   // of 2 channel units (10 MHz), i.e. 40 MHz -> {c-2, c+2},
   // 80 MHz -> {c-6, c-2, c+2, c+6}, 160 MHz -> {c-14 ... c+14 step 4}.
   const int half_span = width_mhz(width) / 10;  // in channel units (5 MHz)
-  std::vector<int> out;
   for (int off = -half_span + 2; off <= half_span - 2; off += 4)
-    out.push_back(number + off);
+    out.comp[out.count++] = number + off;
   return out;
+}
+
+std::vector<int> Channel::components() const {
+  const ComponentSpan s = component_span();
+  return {s.begin(), s.end()};
 }
 
 bool Channel::overlaps(const Channel& other) const {
@@ -61,13 +70,13 @@ bool Channel::overlaps(const Channel& other) const {
 
 bool Channel::is_dfs() const {
   if (band == Band::G2_4) return false;
-  for (int c : components())
+  for (int c : component_span())
     if (channels::is_dfs_20mhz(c)) return true;
   return false;
 }
 
 Channel Channel::primary20() const {
-  return Channel{band, components().front(), ChannelWidth::MHz20};
+  return Channel{band, component_span().front(), ChannelWidth::MHz20};
 }
 
 std::string Channel::to_string() const {
@@ -131,6 +140,127 @@ std::vector<Channel> candidate_set(Band band, ChannelWidth max_width, bool allow
     }
   }
   return out;
+}
+
+namespace {
+
+constexpr int kMaxNumber = 165;
+constexpr int kWidths = 4;
+
+inline int wi(ChannelWidth w) { return static_cast<int>(w); }
+inline int bi(Band b) { return b == Band::G2_4 ? 0 : 1; }
+
+// All memoized geometry, built once on first use. Ordinals enumerate the
+// catalog band-major, width-minor, in us_catalog order, so lookups that used
+// to walk the catalog ("first channel whose components contain x") keep
+// their original resolution order.
+struct Geometry {
+  std::vector<Channel> catalog;
+  // (band, width, number) -> ordinal, -1 if absent.
+  std::int16_t ord[2][kWidths][kMaxNumber + 1];
+  // 5 GHz only: (width, 20 MHz component number) -> ordinal of the first
+  // width-wide catalog channel containing that component.
+  std::int16_t container[kWidths][kMaxNumber + 1];
+  // (ordinal, width) -> ordinal of the width-wide sub-channel container.
+  std::vector<std::array<std::int16_t, kWidths>> sub;
+  // Pairwise Channel::overlaps, row-major over ordinals.
+  std::vector<std::uint8_t> overlap;
+
+  Geometry() {
+    std::fill_n(&ord[0][0][0], 2 * kWidths * (kMaxNumber + 1),
+                std::int16_t{-1});
+    std::fill_n(&container[0][0], kWidths * (kMaxNumber + 1),
+                std::int16_t{-1});
+    for (Band band : {Band::G2_4, Band::G5}) {
+      for (ChannelWidth w : {ChannelWidth::MHz20, ChannelWidth::MHz40,
+                             ChannelWidth::MHz80, ChannelWidth::MHz160}) {
+        for (const Channel& c : us_catalog(band, w)) {
+          ord[bi(band)][wi(w)][c.number] =
+              static_cast<std::int16_t>(catalog.size());
+          catalog.push_back(c);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      const Channel& c = catalog[i];
+      if (c.band != Band::G5) continue;
+      for (int comp : c.component_span()) {
+        if (container[wi(c.width)][comp] < 0)
+          container[wi(c.width)][comp] = static_cast<std::int16_t>(i);
+      }
+    }
+    sub.resize(catalog.size());
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      const Channel& c = catalog[i];
+      const int prim = c.component_span().front();
+      for (int w = 0; w < kWidths; ++w) {
+        std::int16_t s;
+        if (w == wi(c.width)) {
+          s = static_cast<std::int16_t>(i);
+        } else if (w == wi(ChannelWidth::MHz20)) {
+          s = ord[bi(c.band)][w][prim];
+        } else if (c.band == Band::G5 && container[w][prim] >= 0) {
+          s = container[w][prim];
+        } else {
+          s = ord[bi(c.band)][wi(ChannelWidth::MHz20)][prim];
+        }
+        sub[i][static_cast<std::size_t>(w)] = s;
+      }
+    }
+    overlap.assign(catalog.size() * catalog.size(), 0);
+    for (std::size_t a = 0; a < catalog.size(); ++a)
+      for (std::size_t b = 0; b < catalog.size(); ++b)
+        overlap[a * catalog.size() + b] = catalog[a].overlaps(catalog[b]);
+  }
+};
+
+const Geometry& geo() {
+  static const Geometry g;
+  return g;
+}
+
+}  // namespace
+
+int ordinal(const Channel& c) {
+  if (c.number < 0 || c.number > kMaxNumber) return -1;
+  return geo().ord[bi(c.band)][wi(c.width)][c.number];
+}
+
+std::size_t catalog_size() { return geo().catalog.size(); }
+
+const Channel& by_ordinal(int ord) {
+  W11_CHECK(ord >= 0 && static_cast<std::size_t>(ord) < geo().catalog.size());
+  return geo().catalog[static_cast<std::size_t>(ord)];
+}
+
+Channel sub_channel(const Channel& c, ChannelWidth b) {
+  if (b == c.width) return c;
+  const int o = ordinal(c);
+  if (o >= 0)
+    return geo().catalog[static_cast<std::size_t>(
+        geo().sub[static_cast<std::size_t>(o)][wi(b)])];
+  // Non-catalog channel: resolve directly (same semantics as the table).
+  const Channel prim = c.primary20();
+  if (b == ChannelWidth::MHz20) return prim;
+  if (c.band == Band::G5 && prim.number >= 0 && prim.number <= kMaxNumber) {
+    const std::int16_t ct = geo().container[wi(b)][prim.number];
+    if (ct >= 0) return geo().catalog[static_cast<std::size_t>(ct)];
+  }
+  return prim;  // no bonded container exists; degrade to primary
+}
+
+int sub_channel_ordinal(int ord, ChannelWidth b) {
+  W11_CHECK(ord >= 0 && static_cast<std::size_t>(ord) < geo().catalog.size());
+  return geo().sub[static_cast<std::size_t>(ord)][wi(b)];
+}
+
+bool overlaps_ordinal(int a, int b) {
+  const Geometry& g = geo();
+  W11_CHECK(a >= 0 && b >= 0 &&
+            static_cast<std::size_t>(a) < g.catalog.size() &&
+            static_cast<std::size_t>(b) < g.catalog.size());
+  return g.overlap[static_cast<std::size_t>(a) * g.catalog.size() +
+                   static_cast<std::size_t>(b)] != 0;
 }
 
 }  // namespace channels

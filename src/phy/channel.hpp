@@ -8,6 +8,7 @@
 // six 80 MHz and two 160 MHz channels at 5 GHz, three non-overlapping
 // channels at 2.4 GHz, and the DFS subsets of §4.5.2.
 
+#include <array>
 #include <cstdint>
 #include <compare>
 #include <ostream>
@@ -36,6 +37,18 @@ enum class ChannelWidth : std::uint8_t { MHz20, MHz40, MHz80, MHz160 };
 // Widths from 20 MHz up to and including `max`, in increasing order.
 [[nodiscard]] std::vector<ChannelWidth> widths_up_to(ChannelWidth max);
 
+// Allocation-free view of a channel's 20 MHz components; eight slots cover
+// the widest bond (160 MHz).
+struct ComponentSpan {
+  std::array<int, 8> comp{};
+  int count = 0;
+
+  [[nodiscard]] const int* begin() const { return comp.data(); }
+  [[nodiscard]] const int* end() const { return comp.data() + count; }
+  [[nodiscard]] int front() const { return comp[0]; }
+  [[nodiscard]] int size() const { return count; }
+};
+
 struct Channel {
   Band band = Band::G5;
   int number = 36;  // IEEE channel number of the (bonded) centre
@@ -47,6 +60,8 @@ struct Channel {
   [[nodiscard]] double center_mhz() const;
   // The 20 MHz component channel numbers of this (possibly bonded) channel.
   [[nodiscard]] std::vector<int> components() const;
+  // Same, without the allocation — the planner's hot paths use this.
+  [[nodiscard]] ComponentSpan component_span() const;
   // Frequency overlap between two channels (any shared spectrum), which is
   // what matters for contention and corruption on bonded transmissions.
   [[nodiscard]] bool overlaps(const Channel& other) const;
@@ -75,6 +90,27 @@ namespace channels {
 // True if the 20 MHz 5 GHz channel number lies in a DFS range (52–64,
 // 100–144 in the US).
 [[nodiscard]] bool is_dfs_20mhz(int number);
+
+// ---- memoized channel geometry -----------------------------------------
+// The full US catalog (both bands, every width) is small — 48 channels — so
+// the geometry the planner re-derives per evaluation (bond membership,
+// sub-channel containers, pairwise overlap) is precomputed once into static
+// tables and addressed by a dense *ordinal*.
+
+// Dense ordinal of a catalog channel, or -1 if `c` is not in the catalog.
+[[nodiscard]] int ordinal(const Channel& c);
+// Number of catalog channels (valid ordinals are [0, catalog_size())).
+[[nodiscard]] std::size_t catalog_size();
+[[nodiscard]] const Channel& by_ordinal(int ord);
+
+// The b-wide channel containing `c`'s primary 20 MHz sub-channel; degrades
+// to the primary 20 when no bonded container exists (e.g. 2.4 GHz).
+[[nodiscard]] Channel sub_channel(const Channel& c, ChannelWidth b);
+// Memoized sub_channel over catalog ordinals (always a valid ordinal).
+[[nodiscard]] int sub_channel_ordinal(int ord, ChannelWidth b);
+
+// Precomputed Channel::overlaps over catalog ordinals.
+[[nodiscard]] bool overlaps_ordinal(int a, int b);
 
 }  // namespace channels
 

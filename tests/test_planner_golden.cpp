@@ -1,0 +1,136 @@
+// Golden determinism: the PlanContext/ScanIndex planner must reproduce the
+// reference (pre-index) evaluator bit-for-bit — identical plans from
+// identical seeds across campus sizes and hop limits — and its incremental
+// ΔNetP bookkeeping must always agree with a from-scratch rescore.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/turboca/plan_context.hpp"
+#include "core/turboca/reference.hpp"
+#include "core/turboca/turboca.hpp"
+#include "flowsim/scan_index.hpp"
+#include "workload/topology.hpp"
+
+namespace w11 {
+namespace {
+
+using turboca::Params;
+using turboca::PlanContext;
+using turboca::PsiSet;
+using turboca::ReferenceEvaluator;
+using turboca::TurboCA;
+
+std::vector<ApScan> campus_scans(int n_aps, std::uint64_t seed) {
+  workload::CampusConfig cc;
+  cc.n_aps = n_aps;
+  cc.buildings = std::max(2, n_aps / 12);
+  cc.seed = seed;
+  auto net = workload::make_campus(cc);
+  // Mixed starting channels so the planner has real work (and real
+  // contention structure) instead of an all-on-36 greenfield.
+  Rng rng(seed ^ 0x5eedULL);
+  workload::randomize_channels(*net, ChannelWidth::MHz40, rng);
+  return net->scan();
+}
+
+ChannelPlan current_plan(const std::vector<ApScan>& scans) {
+  ChannelPlan plan;
+  for (const ApScan& s : scans) plan[s.id] = s.current;
+  return plan;
+}
+
+// Round count tuned per size so the reference path (full rescore per round,
+// linear find_scan per neighbor) stays test-suite friendly.
+Params golden_params(int n_aps) {
+  Params p;
+  p.runs_min = 1;
+  p.runs_max = n_aps <= 40 ? 3 : (n_aps <= 120 ? 2 : 1);
+  return p;
+}
+
+void expect_golden(int n_aps, std::uint64_t seed) {
+  const std::vector<ApScan> scans = campus_scans(n_aps, seed);
+  const ChannelPlan plan = current_plan(scans);
+  const Params p = golden_params(n_aps);
+
+  for (int hop = 0; hop <= 2; ++hop) {
+    TurboCA indexed(p, Rng(seed + 100 * hop));
+    ReferenceEvaluator reference(p, Rng(seed + 100 * hop));
+
+    const TurboCA::RunResult fast = indexed.run(scans, plan, hop);
+    const TurboCA::RunResult slow = reference.run(scans, plan, hop);
+
+    EXPECT_TRUE(fast.plan == slow.plan)
+        << "plan diverged: n=" << n_aps << " hop=" << hop;
+    EXPECT_EQ(fast.improved, slow.improved) << "n=" << n_aps << " hop=" << hop;
+    EXPECT_NEAR(fast.netp_log, slow.netp_log, 1e-9)
+        << "n=" << n_aps << " hop=" << hop;
+  }
+}
+
+TEST(PlannerGolden, Campus40MatchesReference) { expect_golden(40, 11); }
+TEST(PlannerGolden, Campus120MatchesReference) { expect_golden(120, 23); }
+TEST(PlannerGolden, Campus300MatchesReference) { expect_golden(300, 37); }
+
+// A single NBO sweep (not just the improving-rounds envelope) must draw the
+// same RNG sequence and emit the same proposal as the reference Algorithm 1.
+TEST(PlannerGolden, SingleSweepMatchesReference) {
+  const std::vector<ApScan> scans = campus_scans(60, 5);
+  const ChannelPlan plan = current_plan(scans);
+  for (int hop = 0; hop <= 2; ++hop) {
+    TurboCA indexed({}, Rng(42 + hop));
+    ReferenceEvaluator reference({}, Rng(42 + hop));
+    EXPECT_TRUE(indexed.nbo(scans, plan, hop) ==
+                reference.nbo(scans, plan, hop))
+        << "hop=" << hop;
+  }
+}
+
+// Property: after ANY random single-AP move, the incrementally maintained
+// NetP (dirty mover + dependents only) equals a full from-scratch recompute.
+TEST(PlannerGolden, DeltaNetPMatchesFullRecompute) {
+  const Params p;
+  const flowsim::ScanIndex index(campus_scans(60, 3), p.neighbor_rssi_floor);
+  PlanContext ctx(index, p, {});
+  Rng rng(99);
+
+  ASSERT_NEAR(ctx.net_p_log(),
+              turboca::reference::net_p_log(p, index.scans(), ctx.snapshot()),
+              1e-9);
+
+  for (int move = 0; move < 120; ++move) {
+    const std::size_t i = rng.index(index.size());
+    const auto& cands = index.candidates(i);
+    ctx.set(i, cands[rng.index(cands.size())]);
+    const double incremental = ctx.net_p_log();
+    const double full =
+        turboca::reference::net_p_log(p, index.scans(), ctx.snapshot());
+    ASSERT_NEAR(incremental, full, 1e-9) << "move " << move << " ap " << i;
+  }
+}
+
+// Rolling back a round restores both the plan and the cached NetP terms.
+TEST(PlannerGolden, RollbackRestoresPlanAndNetP) {
+  const Params p;
+  const flowsim::ScanIndex index(campus_scans(40, 13), p.neighbor_rssi_floor);
+  PlanContext ctx(index, p, {});
+  const ChannelPlan before_plan = ctx.snapshot();
+  const double before_netp = ctx.net_p_log();
+
+  Rng rng(7);
+  ctx.begin_round();
+  for (int move = 0; move < 25; ++move) {
+    const std::size_t i = rng.index(index.size());
+    const auto& cands = index.candidates(i);
+    ctx.set(i, cands[rng.index(cands.size())]);
+  }
+  ctx.rollback_round();
+
+  EXPECT_TRUE(ctx.snapshot() == before_plan);
+  EXPECT_EQ(ctx.net_p_log(), before_netp);
+}
+
+}  // namespace
+}  // namespace w11
