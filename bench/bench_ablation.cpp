@@ -10,10 +10,13 @@
 
 #include <cmath>
 #include <iostream>
+#include <type_traits>
+#include <utility>
 
 #include "bench_util.hpp"
 #include "core/turboca/plan_context.hpp"
 #include "core/turboca/service.hpp"
+#include "exec/task_pool.hpp"
 #include "flowsim/scan_index.hpp"
 #include "scenario/testbed.hpp"
 #include "workload/topology.hpp"
@@ -21,6 +24,18 @@
 using namespace w11;
 
 namespace {
+
+// Each ablation contrasts two independent simulations (own campus, own
+// RNGs); run the pair as two pool tasks. parallel_map returns in index
+// order, so the printed tables and shape checks are identical at any
+// worker count.
+template <class F>
+auto run_pair(F&& f) {
+  using T = std::invoke_result_t<F&, bool>;
+  auto r = exec::TaskPool::global().parallel_map<T>(
+      2, [&](std::size_t i) { return f(i == 0); });
+  return std::pair<T, T>{std::move(r[0]), std::move(r[1])};
+}
 
 // ---------------------------------------------------------------- D1 ----
 void d1_product_vs_sum() {
@@ -95,8 +110,9 @@ void d2_hop_schedule() {
     svc.run_now(levels);
     return svc.stats().last_netp_log;
   };
-  const double only0 = final_netp({0});
-  const double full = final_netp({2, 1, 0});
+  const auto [only0, full] = run_pair([&](bool first) {
+    return final_netp(first ? std::vector<int>{0} : std::vector<int>{2, 1, 0});
+  });
   std::cout << "  NetP(log): i=0 only = " << only0 << ", full schedule = " << full
             << "\n";
   bench::shape_check("D2: deeper hop limits find plans at least as good",
@@ -128,8 +144,8 @@ void d3_load_weighted_pick() {
     }
     return share / 5.0;  // mean demand fulfilment of the heavy APs
   };
-  const double weighted = heavy_ap_share(true);
-  const double uniform = heavy_ap_share(false);
+  const auto [weighted, uniform] =
+      run_pair([&](bool first) { return heavy_ap_share(first); });
   std::cout << "  heavy-AP demand fulfilment: weighted=" << weighted
             << " uniform=" << uniform << "\n";
   bench::shape_check("D3: load weighting serves heavy APs at least as well",
@@ -172,8 +188,9 @@ void d4_contiguity() {
   std::cout << "\n[D4] contiguity queue vs naive per-MPDU fast-acking (1.5% bad hints)\n";
   fastack::FastAckAgent::Config naive;
   naive.require_contiguity = false;
-  const FaOutcome ctg = run_fastack({}, 0.015);
-  const FaOutcome nv = run_fastack(naive, 0.015);
+  const auto [ctg, nv] = run_pair([&](bool first) {
+    return run_fastack(first ? fastack::FastAckAgent::Config{} : naive, 0.015);
+  });
   std::cout << "  contiguous: thr=" << ctg.throughput << " Mbps, local retx="
             << ctg.local_retx << ", sender RTOs=" << ctg.sender_rtos << "\n";
   std::cout << "  naive:      thr=" << nv.throughput << " Mbps, local retx="
@@ -188,8 +205,10 @@ void d5_rwnd_rewrite() {
   std::cout << "\n[D5] rwnd rewriting on vs off (128 kB client buffers, 5% bad hints, 2 fast flows)\n";
   fastack::FastAckAgent::Config no_rewrite;
   no_rewrite.rewrite_rwnd = false;
-  const FaOutcome on = run_fastack({}, 0.05, 128, 2);
-  const FaOutcome off = run_fastack(no_rewrite, 0.05, 128, 2);
+  const auto [on, off] = run_pair([&](bool first) {
+    return run_fastack(first ? fastack::FastAckAgent::Config{} : no_rewrite,
+                       0.05, 128, 2);
+  });
   std::cout << "  rewrite on:  thr=" << on.throughput
             << " Mbps, receiver overflow drops=" << on.rwnd_overflows << "\n";
   std::cout << "  rewrite off: thr=" << off.throughput
@@ -202,8 +221,10 @@ void d6_suppression() {
   std::cout << "\n[D6] client TCP ACK suppression on vs off\n";
   fastack::FastAckAgent::Config no_suppress;
   no_suppress.suppress_client_acks = false;
-  const FaOutcome on = run_fastack({}, 0.0);
-  const FaOutcome off = run_fastack(no_suppress, 0.0);
+  const auto [on, off] = run_pair([&](bool first) {
+    return run_fastack(first ? fastack::FastAckAgent::Config{} : no_suppress,
+                       0.0);
+  });
   std::cout << "  suppression on:  thr=" << on.throughput << " Mbps\n";
   std::cout << "  suppression off: thr=" << off.throughput
             << " Mbps (duplicate cumulative ACKs reach the sender)\n";
@@ -227,8 +248,8 @@ void d7_amsdu() {
     tb.run();
     return tb.aggregate_throughput_mbps();
   };
-  const double plain = thr(1);
-  const double bundled = thr(4);
+  const auto [plain, bundled] =
+      run_pair([&](bool first) { return thr(first ? 1 : 4); });
   std::cout << "  A-MPDU only:        " << plain << " Mbps\n";
   std::cout << "  A-MSDU x4 + A-MPDU: " << bundled << " Mbps\n";
   bench::shape_check("D7: A-MSDU bundling adds throughput when the MPDU cap binds",

@@ -15,6 +15,7 @@
 
 #include "bench_util.hpp"
 #include "core/turboca/service.hpp"
+#include "exec/task_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "fault/scan_fault.hpp"
@@ -207,25 +208,41 @@ int main() {
   print_banner("chaos", "Deterministic fault injection: survival & recovery");
 
   // --- packet-level sweep -------------------------------------------------
+  // Every (sim seed, plan seed) world is independent, so the whole sweep
+  // shards across the pool — one run per task, results consumed in the
+  // original loop order (parallel_map returns slots in index order).
+  exec::TaskPool& pool = exec::TaskPool::global();
   const std::vector<std::uint64_t> sim_seeds = {1, 2, 3, 4};
   const std::vector<std::uint64_t> plan_seeds = {11, 12, 13, 14};
+  const std::vector<TestbedOutcome> baselines =
+      pool.parallel_map<TestbedOutcome>(sim_seeds.size(), [&](std::size_t i) {
+        return run_testbed(sim_seeds[i], 0, /*with_faults=*/false);
+      });
+  const std::vector<TestbedOutcome> chaos_runs =
+      pool.parallel_map<TestbedOutcome>(
+          sim_seeds.size() * plan_seeds.size(), [&](std::size_t i) {
+            return run_testbed(sim_seeds[i / plan_seeds.size()],
+                               plan_seeds[i % plan_seeds.size()],
+                               /*with_faults=*/true);
+          });
+
   TablePrinter tt({"sim seed", "plan seed", "faults", "MB total",
                    "baseline MB", "progressed", "clean stall", "wedged",
                    "bypass", "flows lost"});
   int wedged_total = 0;
   int runs_below_floor = 0;
   std::uint64_t chaos_bytes = 0, base_bytes = 0;
-  for (const auto ss : sim_seeds) {
-    const TestbedOutcome base = run_testbed(ss, 0, /*with_faults=*/false);
+  for (std::size_t si = 0; si < sim_seeds.size(); ++si) {
+    const TestbedOutcome& base = baselines[si];
     base_bytes += base.bytes;
-    for (const auto ps : plan_seeds) {
-      const TestbedOutcome r = run_testbed(ss, ps, /*with_faults=*/true);
+    for (std::size_t pi = 0; pi < plan_seeds.size(); ++pi) {
+      const TestbedOutcome& r = chaos_runs[si * plan_seeds.size() + pi];
       chaos_bytes += r.bytes;
       wedged_total += r.flows_wedged;
       if (r.bytes * 10 < base.bytes) ++runs_below_floor;
-      tt.add_row(ss, ps, r.faults, r.bytes / 1.0e6, base.bytes / 1.0e6,
-                 r.flows_progressed, r.flows_clean_stall, r.flows_wedged,
-                 r.bypass, r.flows_lost);
+      tt.add_row(sim_seeds[si], plan_seeds[pi], r.faults, r.bytes / 1.0e6,
+                 base.bytes / 1.0e6, r.flows_progressed, r.flows_clean_stall,
+                 r.flows_wedged, r.bypass, r.flows_lost);
     }
   }
   tt.print();
@@ -244,10 +261,14 @@ int main() {
                      chaos_bytes < base_bytes * static_cast<std::uint64_t>(
                                                     plan_seeds.size()));
 
-  // Reproducibility: identical seeds, identical world — event log and totals.
+  // Reproducibility: identical seeds, identical world — event log and
+  // totals. The twin runs execute on different lanes; determinism must
+  // survive that too.
   {
-    const TestbedOutcome a = run_testbed(2, 12, true);
-    const TestbedOutcome b = run_testbed(2, 12, true);
+    const auto twins = pool.parallel_map<TestbedOutcome>(
+        2, [&](std::size_t) { return run_testbed(2, 12, true); });
+    const TestbedOutcome& a = twins[0];
+    const TestbedOutcome& b = twins[1];
     bench::shape_check(
         "a testbed chaos run is bit-for-bit reproducible from its seeds",
         a.log == b.log && a.bytes == b.bytes && a.bypass == b.bypass &&
@@ -261,19 +282,23 @@ int main() {
                    "dropped"});
   bool all_dfs_safe = true, all_accounting_ok = true, any_skip = false;
   int total_runs = 0;
-  for (const std::uint64_t ns : {std::uint64_t{1}, std::uint64_t{2}}) {
-    for (const std::uint64_t ps :
-         {std::uint64_t{21}, std::uint64_t{22}, std::uint64_t{23},
-          std::uint64_t{24}}) {
-      const PollOutcome r = run_polling(ns, ps);
-      all_dfs_safe &= r.dfs_safe;
-      all_accounting_ok &= r.accounting_ok;
-      any_skip |= r.skips > 0;
-      total_runs += r.runs;
-      pt.add_row(ns, ps, r.faults, r.runs, r.skips, r.clock_anomalies,
-                 r.evacuations, r.switches, r.records_written,
-                 r.records_dropped);
-    }
+  const std::vector<std::uint64_t> net_seeds = {1, 2};
+  const std::vector<std::uint64_t> poll_plan_seeds = {21, 22, 23, 24};
+  const std::vector<PollOutcome> poll_runs = pool.parallel_map<PollOutcome>(
+      net_seeds.size() * poll_plan_seeds.size(), [&](std::size_t i) {
+        return run_polling(net_seeds[i / poll_plan_seeds.size()],
+                           poll_plan_seeds[i % poll_plan_seeds.size()]);
+      });
+  for (std::size_t i = 0; i < poll_runs.size(); ++i) {
+    const PollOutcome& r = poll_runs[i];
+    all_dfs_safe &= r.dfs_safe;
+    all_accounting_ok &= r.accounting_ok;
+    any_skip |= r.skips > 0;
+    total_runs += r.runs;
+    pt.add_row(net_seeds[i / poll_plan_seeds.size()],
+               poll_plan_seeds[i % poll_plan_seeds.size()], r.faults, r.runs,
+               r.skips, r.clock_anomalies, r.evacuations, r.switches,
+               r.records_written, r.records_dropped);
   }
   pt.print();
 
@@ -294,8 +319,10 @@ int main() {
   bench::shape_check("the service kept re-planning through the chaos",
                      total_runs > 0);
   {
-    const PollOutcome a = run_polling(1, 23);
-    const PollOutcome b = run_polling(1, 23);
+    const auto twins = pool.parallel_map<PollOutcome>(
+        2, [&](std::size_t) { return run_polling(1, 23); });
+    const PollOutcome& a = twins[0];
+    const PollOutcome& b = twins[1];
     bench::shape_check(
         "a polling chaos run is bit-for-bit reproducible from its seeds",
         a.log == b.log && a.plan == b.plan && a.switches == b.switches &&

@@ -3,15 +3,49 @@
 //
 // Every stochastic component takes an explicit Rng (or a seed) so that tests
 // and benchmarks are reproducible. There is deliberately no global generator.
+//
+// Threading rules (DESIGN.md §10): an Rng is single-owner, single-thread
+// state. It is move-only — copying a generator silently *shares* its future
+// draw sequence between two owners, which is exactly the bug that breaks
+// determinism the first time the copies land on different threads. Parallel
+// work derives independent per-task generators with fork(stream_id), which
+// depends only on (root seed, stream id) — never on how many draws the
+// parent has made — so results cannot depend on worker interleaving.
 
 #include <cstdint>
 #include <random>
 
 namespace w11 {
 
+namespace rng_detail {
+
+// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation used to
+// derive child seeds. Constexpr so seed derivation is a pure function.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Child seed for (root seed, stream id). Shared by Rng::fork(stream_id) and
+// exec::ShardRng so both derive the identical per-stream generator.
+constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  return splitmix64(seed ^ splitmix64(stream ^ 0xa076'1d64'78bd'642fULL));
+}
+
+}  // namespace rng_detail
+
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  // Move-only: see the threading rules above. Pass an Rng by reference, move
+  // it into its owner, or derive an independent child with fork().
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
 
   // Uniform integer in [lo, hi] inclusive.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -68,12 +102,28 @@ class Rng {
     return weights.size() - 1;  // floating-point edge: return last
   }
 
-  // Derive an independent child generator (for per-entity streams).
+  // Derive an independent child generator by drawing from this one. The
+  // child depends on the parent's draw position — use only where the fork
+  // itself is part of a single-threaded deterministic sequence (per-entity
+  // streams set up at construction time).
   [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  // Derive the independent child generator for `stream_id`. Depends only on
+  // (seed(), stream_id) — not on how many draws this generator has made —
+  // so per-task streams are identical no matter when or on which worker a
+  // task forks them. Distinct stream ids give decorrelated streams; the
+  // same id always gives the same stream (callers own id uniqueness).
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const {
+    return Rng(rng_detail::mix_seed(seed_, stream_id));
+  }
+
+  // The seed this generator was constructed with (stable across draws).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -12,6 +12,13 @@ class RunningStats {
  public:
   void add(double x);
 
+  // Fold another accumulator into this one (Chan et al.'s pairwise
+  // combine). Exact for count/sum/min/max; mean and M2 match a single
+  // stream that saw both sequences up to floating-point re-association,
+  // which is what lets sharded workers accumulate locally and reduce in
+  // deterministic shard order.
+  void merge(const RunningStats& other);
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;  // population variance

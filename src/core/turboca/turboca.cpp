@@ -33,32 +33,58 @@ Channel TurboCA::acc(const PlanContext& ctx, std::size_t target,
   const std::vector<Channel>& cands = index.candidates(target);
   const std::vector<int>& cand_ords = index.candidate_ordinals(target);
 
-  Channel best = a.current;
-  double best_score = -std::numeric_limits<double>::infinity();
-  for (std::size_t k = 0; k < cands.size(); ++k) {
+  // Score the move target→c against the context without committing it.
+  auto score_candidate = [&](std::size_t k) {
     const Channel& c = cands[k];
-    // Score the move target→c against the context without committing it.
     const PlanContext::TrialMove trial{target, c, cand_ords[k]};
     double score = ctx.node_p_log(target, c, &psi, &trial);
     for (std::uint32_t nbi : affected) {
       const Channel& nc = nbi == target ? c : ctx.channel_of(nbi);
       score += ctx.node_p_log(nbi, nc, &psi, &trial);
     }
+    return score;
+  };
+
+  // The (channel, width) trials are independent read-only evaluations
+  // against ctx, so they fan out over the pool when the candidate set is
+  // wide enough to amortize dispatch. Each trial's sum runs serially inside
+  // one task and scores land by index, so the selection below sees the
+  // exact serial values in the exact serial order at any worker count.
+  std::vector<double> scores;
+  exec::TaskPool& tp = pool();
+  if (tp.workers() > 1 && !exec::TaskPool::in_task() && cands.size() >= 8 &&
+      !affected.empty()) {
+    scores = tp.parallel_map<double>(cands.size(), score_candidate);
+  } else {
+    scores.reserve(cands.size());
+    for (std::size_t k = 0; k < cands.size(); ++k)
+      scores.push_back(score_candidate(k));
+  }
+
+  Channel best = a.current;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < cands.size(); ++k) {
     // Deterministic tie-break preferring the incumbent channel (stability).
-    if (score > best_score + 1e-9 ||
-        (std::abs(score - best_score) <= 1e-9 && c == a.current)) {
-      best_score = score;
-      best = c;
+    if (scores[k] > best_score + 1e-9 ||
+        (std::abs(scores[k] - best_score) <= 1e-9 && cands[k] == a.current)) {
+      best_score = scores[k];
+      best = cands[k];
     }
   }
   return best;
 }
 
-void TurboCA::nbo_sweep(PlanContext& ctx, int hop_limit) {
-  // Algorithm 1, applied to `ctx` in place. Draws the exact RNG sequence of
-  // the reference NBO so plans stay bit-identical.
-  const flowsim::ScanIndex& index = ctx.index();
+void TurboCA::plan_sweep(const flowsim::ScanIndex& index, int hop_limit,
+                         std::vector<std::uint32_t>& order,
+                         std::vector<std::uint32_t>& group_end) {
+  // Algorithm 1's control flow, drawing the exact RNG sequence of the
+  // reference NBO. Group membership and drain order depend only on the
+  // epoch's adjacency and loads — never on the evolving plan — so the whole
+  // schedule can be fixed up front and the ACC decisions executed after.
   const std::size_t n = index.size();
+  order.clear();
+  order.reserve(n);
+  group_end.assign(n, 0);
 
   std::vector<std::uint32_t> s_set(n);  // S <- V
   for (std::size_t i = 0; i < n; ++i) s_set[i] = static_cast<std::uint32_t>(i);
@@ -68,7 +94,6 @@ void TurboCA::nbo_sweep(PlanContext& ctx, int hop_limit) {
   std::uint32_t token = 0;
   std::vector<std::pair<std::uint32_t, int>> frontier;
 
-  PsiSet psi(n);
   std::vector<std::uint32_t> group;
   std::vector<double> weights;
 
@@ -101,12 +126,10 @@ void TurboCA::nbo_sweep(PlanContext& ctx, int hop_limit) {
       if (visited[i] == token) group.push_back(i);
     std::erase_if(s_set, [&](std::uint32_t i) { return visited[i] == token; });
 
-    // lines 7-11: drain the group, load-weighted (§4.4.3: heavily loaded
-    // APs pick earlier and get first choice of clean channels). ψ is the
-    // set of still-undrained group members; it shrinks by one erase per
-    // pick instead of being rebuilt per iteration.
-    psi.clear();
-    for (std::uint32_t i : group) psi.insert(i);
+    // lines 7-11: fix the group's drain order, load-weighted (§4.4.3:
+    // heavily loaded APs pick earlier and get first choice of clean
+    // channels — the weights come from the static per-epoch loads).
+    const std::size_t gb = order.size();
     while (!group.empty()) {
       std::size_t mi;
       if (params_.load_weighted_pick) {
@@ -118,13 +141,102 @@ void TurboCA::nbo_sweep(PlanContext& ctx, int hop_limit) {
       } else {
         mi = rng_.index(group.size());
       }
-      const std::uint32_t m = group[mi];
+      order.push_back(group[mi]);
       group.erase(group.begin() + static_cast<std::ptrdiff_t>(mi));
-      psi.erase(m);
-
-      ctx.set(m, acc(ctx, m, psi));
     }
+    for (std::size_t t = gb; t < order.size(); ++t)
+      group_end[t] = static_cast<std::uint32_t>(order.size());
   }
+}
+
+void TurboCA::nbo_sweep(PlanContext& ctx, int hop_limit) {
+  // Algorithm 1, applied to `ctx` in place: fix the drain schedule first
+  // (all of the sweep's RNG), then execute the ACC decisions — serially, or
+  // speculatively batched across the pool. Both executions are bit-for-bit
+  // identical to the reference sweep.
+  const flowsim::ScanIndex& index = ctx.index();
+  const std::size_t n = index.size();
+  if (n == 0) return;
+
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> group_end;
+  plan_sweep(index, hop_limit, order, group_end);
+
+  exec::TaskPool& tp = pool();
+  if (tp.workers() == 1 || exec::TaskPool::in_task() || n < 8) {
+    // Serial execution. ψ (the still-undrained members of the current
+    // group) starts as the whole group and shrinks by one erase per pick.
+    PsiSet psi(n);
+    std::size_t group_until = 0;
+    for (std::size_t t = 0; t < order.size(); ++t) {
+      if (t == group_until) {
+        psi.clear();
+        group_until = group_end[t];
+        for (std::size_t u = t; u < group_until; ++u) psi.insert(order[u]);
+      }
+      psi.erase(order[t]);
+      ctx.set(order[t], acc(ctx, order[t], psi));
+    }
+    sweep_stats_.picks += order.size();
+    sweep_stats_.batches += order.size();
+    sweep_stats_.max_batch = std::max<std::uint64_t>(sweep_stats_.max_batch,
+                                                     order.empty() ? 0 : 1);
+    ++sweep_stats_.serial_sweeps;
+    return;
+  }
+
+  // Speculative batched execution. A pick's ACC reads plan entries only
+  // within two forward hops of its AP: its own term reads its contender
+  // neighbors' channels, and each affected neighbor's term reads that
+  // neighbor's contenders. So consecutive picks whose two-hop read sets
+  // avoid every earlier in-batch mover see exactly the pre-batch plan the
+  // serial execution would show them — score them concurrently, commit in
+  // drain order, and the result is identical at any worker count.
+  std::vector<char> write_mark(n, 0);
+  auto reads_a_mover = [&](std::uint32_t ap) {
+    if (write_mark[ap]) return true;
+    for (const flowsim::ScanIndex::Neighbor& nb1 : index.neighbors(ap)) {
+      if (write_mark[nb1.index]) return true;
+      for (const flowsim::ScanIndex::Neighbor& nb2 :
+           index.neighbors(nb1.index))
+        if (write_mark[nb2.index]) return true;
+    }
+    return false;
+  };
+
+  // Per-lane ψ scratch: lane indices are unique within one parallel_for,
+  // and this scratch never outlives the sweep.
+  std::vector<PsiSet> psi_scratch;
+  psi_scratch.reserve(static_cast<std::size_t>(tp.workers()));
+  for (int l = 0; l < tp.workers(); ++l) psi_scratch.emplace_back(n);
+
+  std::vector<Channel> results(n);
+  std::size_t t = 0;
+  while (t < order.size()) {
+    std::size_t bend = t;
+    do {
+      write_mark[order[bend]] = 1;
+      ++bend;
+    } while (bend < order.size() && !reads_a_mover(order[bend]));
+
+    tp.parallel_for(bend - t, [&](std::size_t k, int lane) {
+      const std::size_t p = t + k;
+      PsiSet& psi = psi_scratch[static_cast<std::size_t>(lane)];
+      psi.clear();
+      for (std::size_t u = p + 1; u < group_end[p]; ++u) psi.insert(order[u]);
+      results[p] = acc(ctx, order[p], psi);
+    });
+
+    for (std::size_t p = t; p < bend; ++p) {
+      ctx.set(order[p], results[p]);
+      write_mark[order[p]] = 0;
+    }
+    ++sweep_stats_.batches;
+    sweep_stats_.max_batch =
+        std::max<std::uint64_t>(sweep_stats_.max_batch, bend - t);
+    t = bend;
+  }
+  sweep_stats_.picks += order.size();
 }
 
 ChannelPlan TurboCA::nbo(const flowsim::ScanIndex& index,

@@ -28,10 +28,12 @@
 // preserved in reference.hpp (ReferenceEvaluator) as the behavioural
 // oracle; the two are bit-for-bit equivalent (tests/test_planner_golden).
 
+#include <cstdint>
 #include <set>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "exec/task_pool.hpp"
 #include "flowsim/scan.hpp"
 #include "flowsim/scan_index.hpp"
 #include "phy/channel.hpp"
@@ -76,6 +78,22 @@ class TurboCA {
     double netp_log = 0.0;
     bool improved = false;
   };
+
+  // Observability for the speculative NBO executor (DESIGN.md §10): how
+  // much interleaving-safe parallelism the sweeps found. Cumulative; a
+  // serial sweep counts as one single-pick batch per AP.
+  struct SweepStats {
+    std::uint64_t picks = 0;    // ACC decisions executed
+    std::uint64_t batches = 0;  // speculative score-then-commit groups
+    std::uint64_t max_batch = 0;
+    std::uint64_t serial_sweeps = 0;  // sweeps that took the serial path
+  };
+
+  // Pool the planner fans work out on: ACC candidate trials, speculative
+  // NBO proposal scoring. nullptr (default) = exec::TaskPool::global().
+  // Plans are bit-for-bit identical at every worker count.
+  void set_pool(exec::TaskPool* pool) { pool_ = pool; }
+  [[nodiscard]] const SweepStats& sweep_stats() const { return sweep_stats_; }
 
   // ---- indexed API (the production path) --------------------------------
   // Callers build one flowsim::ScanIndex per scan epoch (with this
@@ -130,8 +148,23 @@ class TurboCA {
   // One NBO sweep applied to `ctx` in place.
   void nbo_sweep(PlanContext& ctx, int hop_limit);
 
+  // Algorithm 1's control flow without the ACC calls: draws the exact RNG
+  // sequence of the reference sweep and emits the drain schedule.
+  // order[t] is the t-th AP to pick a channel; group_end[t] is the end
+  // (exclusive, as a position in `order`) of t's group, so ψ at pick t is
+  // order[t+1 .. group_end[t]). Groups occupy contiguous position runs.
+  void plan_sweep(const flowsim::ScanIndex& index, int hop_limit,
+                  std::vector<std::uint32_t>& order,
+                  std::vector<std::uint32_t>& group_end);
+
+  [[nodiscard]] exec::TaskPool& pool() const {
+    return pool_ ? *pool_ : exec::TaskPool::global();
+  }
+
   Params params_;
   mutable Rng rng_;
+  exec::TaskPool* pool_ = nullptr;
+  SweepStats sweep_stats_;
 };
 
 // Hop-limited neighborhood over the scan graph: ids within `hops` of `from`

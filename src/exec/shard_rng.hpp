@@ -1,0 +1,41 @@
+#pragma once
+// ShardRng: per-task seed derivation for pool-sharded work (DESIGN.md §10).
+//
+// Sharded runs (one campus / seed / proposal per task) must stay
+// reproducible no matter which worker runs which task in what order. A
+// ShardRng pins one root seed and hands every task the generator derived
+// from its *stream id* — a stable, caller-chosen identity such as the shard
+// index — via the same mix Rng::fork(stream_id) uses. No draw ever touches
+// shared generator state, so a fleet run's results are a pure function of
+// (root seed, shard id), independent of worker count and interleaving.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace w11::exec {
+
+class ShardRng {
+ public:
+  explicit ShardRng(std::uint64_t root_seed) : root_(root_seed) {}
+  // Shards under an existing generator's identity (its construction seed;
+  // unaffected by draws the root has made).
+  explicit ShardRng(const Rng& root) : root_(root.seed()) {}
+
+  [[nodiscard]] std::uint64_t root_seed() const { return root_; }
+
+  // The seed task `stream_id` derives its generator from.
+  [[nodiscard]] std::uint64_t seed_for(std::uint64_t stream_id) const {
+    return rng_detail::mix_seed(root_, stream_id);
+  }
+
+  // The task's independent generator; equals Rng(root).fork(stream_id).
+  [[nodiscard]] Rng rng_for(std::uint64_t stream_id) const {
+    return Rng(seed_for(stream_id));
+  }
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace w11::exec

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/task_pool.hpp"
+
 namespace w11::flowsim {
 
-ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor)
+ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor,
+                     exec::TaskPool* pool)
     : scans_(std::move(scans)), floor_(contender_rssi_floor) {
   const std::size_t n = scans_.size();
   n_ordinals_ = channels::catalog_size();
@@ -52,12 +55,19 @@ ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor)
     r.candidate_ordinals.reserve(r.candidates.size());
     for (const Channel& c : r.candidates)
       r.candidate_ordinals.push_back(channels::ordinal(c));
+  }
 
-    // Per-catalog-channel aggregates.
+  // Per-catalog-channel aggregates: the dominant build cost, fanned out one
+  // AP per task. Task i writes only row i's slice of stats_, and each cell
+  // is a pure function of (scan i, catalog channel), so the fill is
+  // race-free and bit-identical at any worker count.
+  exec::TaskPool& tp = pool ? *pool : exec::TaskPool::global();
+  tp.parallel_for(n, [this](std::size_t i) {
+    const ApScan& s = scans_[i];
     for (std::size_t ord = 0; ord < n_ordinals_; ++ord)
       stats_[i * n_ordinals_ + ord] =
           compute_stats(s, channels::by_ordinal(static_cast<int>(ord)));
-  }
+  });
 
   // Reverse contender edges: dependents(x) = { a : x is a contender-eligible
   // neighbor of a }. Counting sort into one flat array.

@@ -32,6 +32,10 @@
 #include "flowsim/scan.hpp"
 #include "phy/channel.hpp"
 
+namespace w11::exec {
+class TaskPool;
+}
+
 namespace w11::flowsim {
 
 class ScanIndex {
@@ -47,9 +51,14 @@ class ScanIndex {
     bool contender;       // rssi >= the contender RSSI floor
   };
 
+  // Construction fans the per-(AP, catalog channel) aggregate fill — the
+  // dominant build cost — out over `pool` (nullptr = the global pool). Every
+  // task writes only its own AP's slice, so the result is identical at any
+  // worker count.
   explicit ScanIndex(
       std::vector<ApScan> scans,
-      Dbm contender_rssi_floor = -std::numeric_limits<double>::infinity());
+      Dbm contender_rssi_floor = -std::numeric_limits<double>::infinity(),
+      exec::TaskPool* pool = nullptr);
 
   [[nodiscard]] std::size_t size() const { return scans_.size(); }
   [[nodiscard]] const std::vector<ApScan>& scans() const { return scans_; }

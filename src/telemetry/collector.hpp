@@ -33,13 +33,18 @@ class NetworkCollector {
       return false;
     }
     ++records_written_;
+    // Batch the interval: build all AP rows, then one bulk append (one
+    // reserve + one sortedness check instead of per-AP bookkeeping).
+    std::vector<LittleTable::Row> batch;
+    batch.reserve(ev.per_ap.size());
     for (const auto& m : ev.per_ap) {
-      ap_stats_.insert(m.id.value(), at,
-                       {m.throughput_mbps, m.offered_mbps, m.utilization,
-                        m.airtime_share, m.mean_phy_rate_mbps,
-                        m.mean_bitrate_efficiency,
-                        static_cast<double>(m.cochannel_interferers)});
+      batch.push_back(LittleTable::Row{
+          m.id.value(), at,
+          {m.throughput_mbps, m.offered_mbps, m.utilization, m.airtime_share,
+           m.mean_phy_rate_mbps, m.mean_bitrate_efficiency,
+           static_cast<double>(m.cochannel_interferers)}});
     }
+    ap_stats_.append(std::move(batch));
     net_stats_.insert(0, at,
                       {ev.total_throughput_mbps, ev.total_offered_mbps,
                        static_cast<double>(net.total_switches())});

@@ -26,6 +26,28 @@ void LittleTable::insert(std::uint32_t entity, Time at,
   rows_.push_back(Row{entity, at, std::move(values)});
 }
 
+void LittleTable::reserve_rows(std::size_t rows) {
+  rows_.reserve(rows_.size() + rows);
+}
+
+void LittleTable::append(std::vector<Row> batch) {
+  if (batch.empty()) return;
+  for (const Row& r : batch)
+    W11_CHECK_MSG(r.values.size() == columns_.size(), "schema width mismatch");
+  // One sortedness check across the seam plus the batch's own ordering;
+  // per-row checks are redundant once the batch is known monotone.
+  Time prev = rows_.empty() ? batch.front().at : rows_.back().at;
+  for (const Row& r : batch) {
+    if (r.at < prev) {
+      sorted_ = false;
+      break;
+    }
+    prev = r.at;
+  }
+  rows_.reserve(rows_.size() + batch.size());
+  std::move(batch.begin(), batch.end(), std::back_inserter(rows_));
+}
+
 void LittleTable::ensure_sorted() const {
   if (sorted_) return;
   std::stable_sort(rows_.begin(), rows_.end(),

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.hpp"
@@ -138,6 +140,64 @@ TEST(RunningStats, EmptyIsSafe) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSingleStream) {
+  // Sharded accumulation (Chan et al. combine) must agree with one stream
+  // that saw every sample: exact on count/sum/min/max, tight on mean/var.
+  const std::vector<double> xs = {2.0, 4.0,  4.0, 4.0, 5.0, 5.0,
+                                  7.0, 9.0,  1.5, 8.25, -3.0, 0.0};
+  RunningStats whole;
+  for (double x : xs) whole.add(x);
+
+  for (std::size_t split = 0; split <= xs.size(); ++split) {
+    RunningStats a, b;
+    for (std::size_t i = 0; i < split; ++i) a.add(xs[i]);
+    for (std::size_t i = split; i < xs.size(); ++i) b.add(xs[i]);
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count()) << "split " << split;
+    EXPECT_DOUBLE_EQ(a.sum(), whole.sum()) << "split " << split;
+    EXPECT_DOUBLE_EQ(a.min(), whole.min()) << "split " << split;
+    EXPECT_DOUBLE_EQ(a.max(), whole.max()) << "split " << split;
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12) << "split " << split;
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-12) << "split " << split;
+  }
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats filled;
+  for (double x : {1.0, 2.0, 3.0}) filled.add(x);
+
+  RunningStats lhs_empty;
+  lhs_empty.merge(filled);
+  EXPECT_EQ(lhs_empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(lhs_empty.mean(), 2.0);
+
+  RunningStats rhs_empty;
+  filled.merge(rhs_empty);
+  EXPECT_EQ(filled.count(), 3u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 2.0);
+}
+
+TEST(RunningStats, ManyShardMergeIsOrderedDeterministic) {
+  // The bench sharding pattern: per-shard accumulators folded in shard
+  // order. Two identical folds must agree bit-for-bit.
+  auto fold = [] {
+    RunningStats total;
+    for (int shard = 0; shard < 8; ++shard) {
+      RunningStats s;
+      Rng rng(1000 + static_cast<std::uint64_t>(shard));
+      for (int i = 0; i < 257; ++i) s.add(rng.normal(shard, 1.5));
+      total.merge(s);
+    }
+    return total;
+  };
+  const RunningStats a = fold();
+  const RunningStats b = fold();
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.sum(), b.sum());
 }
 
 // ------------------------------------------------------------- Samples --
@@ -318,6 +378,54 @@ TEST(Rng, ForkProducesIndependentStream) {
   for (int i = 0; i < 10; ++i)
     any_diff |= child.uniform_int(0, 1 << 30) != fresh.uniform_int(0, 1 << 30);
   EXPECT_TRUE(any_diff);
+}
+
+// The copy constructor is deleted: copying a generator silently shares its
+// future draw sequence between two owners, which breaks determinism the
+// first time the copies land on different threads (DESIGN.md §10).
+static_assert(!std::is_copy_constructible_v<Rng>);
+static_assert(!std::is_copy_assignable_v<Rng>);
+static_assert(std::is_move_constructible_v<Rng>);
+static_assert(std::is_move_assignable_v<Rng>);
+
+TEST(Rng, StreamForkDependsOnlyOnSeedAndStreamId) {
+  // fork(stream_id) must be a pure function of (seed, stream id) — the
+  // parent's draw position must not leak in, or per-task streams would vary
+  // with scheduling.
+  Rng fresh(42);
+  Rng drained(42);
+  for (int i = 0; i < 500; ++i) (void)drained.uniform_int(0, 1 << 20);
+
+  for (std::uint64_t stream : {0ULL, 1ULL, 99ULL}) {
+    Rng a = fresh.fork(stream);
+    Rng b = drained.fork(stream);
+    for (int i = 0; i < 32; ++i)
+      ASSERT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30))
+          << "stream " << stream;
+  }
+}
+
+TEST(Rng, StreamForkDoesNotAdvanceParent) {
+  Rng a(7), b(7);
+  (void)a.fork(3);
+  (void)a.fork(4);
+  EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, DistinctStreamForksDiverge) {
+  Rng root(11);
+  Rng a = root.fork(std::uint64_t{0});
+  Rng b = root.fork(std::uint64_t{1});
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i)
+    any_diff |= a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SeedAccessorIsStableAcrossDraws) {
+  Rng rng(123);
+  for (int i = 0; i < 10; ++i) (void)rng.uniform();
+  EXPECT_EQ(rng.seed(), 123u);
 }
 
 TEST(Rng, BernoulliExtremes) {

@@ -10,6 +10,7 @@
 #include "core/turboca/plan_context.hpp"
 #include "core/turboca/reference.hpp"
 #include "core/turboca/turboca.hpp"
+#include "exec/task_pool.hpp"
 #include "flowsim/scan_index.hpp"
 #include "workload/topology.hpp"
 
@@ -85,6 +86,48 @@ TEST(PlannerGolden, SingleSweepMatchesReference) {
     EXPECT_TRUE(indexed.nbo(scans, plan, hop) ==
                 reference.nbo(scans, plan, hop))
         << "hop=" << hop;
+  }
+}
+
+// The parallel executor (speculative NBO batches + ACC candidate fan-out)
+// must emit byte-identical plans at every worker count — and all of them
+// must equal the reference evaluator's plan. This is the tentpole guarantee
+// of DESIGN.md §10: worker count is a throughput knob, never a semantics
+// knob.
+TEST(PlannerGolden, WorkerCountNeverChangesThePlan) {
+  const int n_aps = 150;
+  const std::uint64_t seed = 77;
+  const std::vector<ApScan> scans = campus_scans(n_aps, seed);
+  const ChannelPlan plan = current_plan(scans);
+  const Params p = golden_params(n_aps);
+
+  for (int hop = 0; hop <= 2; ++hop) {
+    ReferenceEvaluator reference(p, Rng(seed + 100 * hop));
+    const TurboCA::RunResult want = reference.run(scans, plan, hop);
+
+    for (int workers : {1, 2, 4, 8}) {
+      exec::TaskPool pool(workers);
+      TurboCA indexed(p, Rng(seed + 100 * hop));
+      indexed.set_pool(&pool);
+      const flowsim::ScanIndex index(scans, p.neighbor_rssi_floor, &pool);
+      const TurboCA::RunResult got = indexed.run(index, plan, hop);
+
+      EXPECT_TRUE(got.plan == want.plan)
+          << "plan diverged: workers=" << workers << " hop=" << hop;
+      EXPECT_EQ(got.improved, want.improved)
+          << "workers=" << workers << " hop=" << hop;
+      EXPECT_NEAR(got.netp_log, want.netp_log, 1e-9)
+          << "workers=" << workers << " hop=" << hop;
+
+      const TurboCA::SweepStats& st = indexed.sweep_stats();
+      EXPECT_GT(st.picks, 0u);
+      EXPECT_GE(st.picks, st.batches);
+      if (workers > 1) {
+        // The speculative executor must actually engage off the serial path.
+        EXPECT_EQ(st.serial_sweeps, 0u) << "workers=" << workers;
+        EXPECT_GT(st.max_batch, 1u) << "workers=" << workers;
+      }
+    }
   }
 }
 

@@ -95,6 +95,56 @@ TEST(LittleTable, EmptyBucketsAreSkipped) {
   EXPECT_EQ(buckets[1].first, time::seconds(20));
 }
 
+TEST(LittleTable, BatchAppendMatchesPerRowInserts) {
+  auto a = two_col();
+  auto b = two_col();
+
+  std::vector<LittleTable::Row> batch;
+  for (int i = 0; i < 50; ++i) {
+    const Time at = time::seconds(i / 2);  // duplicates, still monotone
+    const std::vector<double> vals = {static_cast<double>(i), i * 0.5};
+    a.insert(static_cast<std::uint32_t>(i % 4), at, vals);
+    batch.push_back(
+        LittleTable::Row{static_cast<std::uint32_t>(i % 4), at, vals});
+  }
+  b.reserve_rows(batch.size());
+  b.append(std::move(batch));
+
+  ASSERT_EQ(a.row_count(), b.row_count());
+  const auto ra = a.query(Time{0}, time::seconds(100));
+  const auto rb = b.query(Time{0}, time::seconds(100));
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].entity, rb[i].entity);
+    EXPECT_EQ(ra[i].at, rb[i].at);
+    EXPECT_EQ(ra[i].values, rb[i].values);
+  }
+}
+
+TEST(LittleTable, BatchAppendDetectsDisorderAcrossSeamAndWithin) {
+  // Out-of-order rows arriving via append must still sort lazily, exactly
+  // like insert().
+  auto t = two_col();
+  t.insert(0, time::seconds(5), {5.0, 0.0});
+  t.append({LittleTable::Row{0, time::seconds(3), {3.0, 0.0}},
+            LittleTable::Row{0, time::seconds(9), {9.0, 0.0}},
+            LittleTable::Row{0, time::seconds(1), {1.0, 0.0}}});
+  const auto rows = t.query(Time{0}, time::seconds(100));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].values[0], 1.0);
+  EXPECT_EQ(rows[1].values[0], 3.0);
+  EXPECT_EQ(rows[2].values[0], 5.0);
+  EXPECT_EQ(rows[3].values[0], 9.0);
+}
+
+TEST(LittleTable, BatchAppendValidatesSchema) {
+  auto t = two_col();
+  EXPECT_THROW(t.append({LittleTable::Row{0, Time{0}, {1.0}}}),
+               std::logic_error);
+  EXPECT_EQ(t.row_count(), 0u);  // a bad batch is rejected atomically
+  EXPECT_NO_THROW(t.append({}));
+}
+
 TEST(LittleTable, RetentionTrim) {
   auto t = two_col();
   for (int i = 0; i < 10; ++i)
