@@ -1,0 +1,246 @@
+// Flowsim engine benchmarks (google-benchmark): the event-engine overhaul's
+// before/after pairs (DESIGN.md §11). Every hot structure the overhaul
+// touched is measured against its preserved predecessor:
+//
+//   * event queue schedule/run and steady-state churn — arena engine vs the
+//     kReference (pre-overhaul priority_queue/shared_ptr) engine
+//   * TcpReceiver out-of-order reassembly (flat interval vector)
+//   * FastACK table ops (flat retx cache / pending-ack queue)
+//   * an end-to-end FastACK testbed run on both engines
+//
+// Results are written to BENCH_flowsim.json unless the caller passes its
+// own --benchmark_out. EXPERIMENTS.md records the measured numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/fastack/agent.hpp"
+#include "net/tcp_receiver.hpp"
+#include "scenario/testbed.hpp"
+#include "sim/simulator.hpp"
+
+namespace w11 {
+namespace {
+
+// --- event queue: schedule + drain (BM_EventQueueScheduleRun successor) ----
+// Same shape as the old micro-bench: 1000 one-shot events scheduled then
+// drained, fresh simulator per iteration.
+
+void schedule_run_1000(Simulator::Engine engine, benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim(engine);
+    for (int i = 0; i < 1000; ++i)
+      sim.schedule_at(time::micros(i), [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.processed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void BM_EventQueueScheduleRunArena(benchmark::State& state) {
+  schedule_run_1000(Simulator::Engine::kArena, state);
+}
+BENCHMARK(BM_EventQueueScheduleRunArena);
+
+void BM_EventQueueScheduleRunReference(benchmark::State& state) {
+  schedule_run_1000(Simulator::Engine::kReference, state);
+}
+BENCHMARK(BM_EventQueueScheduleRunReference);
+
+// --- event queue: steady-state timer churn ---------------------------------
+// The simulator's real workload: a bounded population of self-rescheduling
+// timers (MAC backoff, delayed ACKs, wire arrivals). Slot recycling and SBO
+// callbacks make this allocation-free on the arena engine.
+
+void steady_churn(Simulator::Engine engine, benchmark::State& state) {
+  const int kTimers = 64;
+  Simulator sim(engine);
+  std::uint64_t fired = 0;
+  std::function<void()> tick = [&] {
+    ++fired;
+    sim.schedule_after(time::micros(1 + (fired % 7)), tick);
+  };
+  for (int i = 0; i < kTimers; ++i)
+    sim.schedule_at(time::nanos(i), tick);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) sim.step();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void BM_EventQueueSteadyChurnArena(benchmark::State& state) {
+  steady_churn(Simulator::Engine::kArena, state);
+}
+BENCHMARK(BM_EventQueueSteadyChurnArena);
+
+void BM_EventQueueSteadyChurnReference(benchmark::State& state) {
+  steady_churn(Simulator::Engine::kReference, state);
+}
+BENCHMARK(BM_EventQueueSteadyChurnReference);
+
+// --- event queue: cancellation-heavy (retired timers) ----------------------
+// Timers are mostly cancelled, not fired (every ACK retires a retransmit
+// timer). O(1) generation-checked cancel vs shared_ptr flag allocation.
+
+void cancel_heavy(Simulator::Engine engine, benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim(engine);
+    std::vector<EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+      handles.push_back(sim.schedule_at(time::micros(i), [] {}));
+    for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+    sim.run();
+    benchmark::DoNotOptimize(sim.processed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void BM_EventQueueCancelHeavyArena(benchmark::State& state) {
+  cancel_heavy(Simulator::Engine::kArena, state);
+}
+BENCHMARK(BM_EventQueueCancelHeavyArena);
+
+void BM_EventQueueCancelHeavyReference(benchmark::State& state) {
+  cancel_heavy(Simulator::Engine::kReference, state);
+}
+BENCHMARK(BM_EventQueueCancelHeavyReference);
+
+// --- TcpReceiver: out-of-order reassembly (flat interval vector) -----------
+// Segments arrive pairwise swapped, so every second segment opens a hole
+// and every other one closes it — constant insert/absorb pressure on ooo_.
+
+void BM_TcpReceiverOutOfOrder(benchmark::State& state) {
+  Simulator sim;
+  std::uint64_t acks = 0;
+  TcpReceiver rx(sim, FlowId{1}, {},
+                 [&](TcpSegment) { ++acks; });
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 100; ++i) {
+      TcpSegment hi;
+      hi.flow = FlowId{1};
+      hi.seq = seq + 1460;
+      hi.payload = 1460;
+      rx.on_data(hi);  // hole: [seq, seq+1460) still missing
+      TcpSegment lo;
+      lo.flow = FlowId{1};
+      lo.seq = seq;
+      lo.payload = 1460;
+      rx.on_data(lo);  // closes it
+      seq += 2 * 1460;
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(acks);
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_TcpReceiverOutOfOrder);
+
+// --- FastACK table ops (flat retx cache / q_seq / tcp_pending) -------------
+// Steady-state per-segment agent cost with a deep cache: data in, 802.11
+// delivery, client ACK lagging 64 segments behind so the retransmission
+// cache holds 64 entries and eviction continuously pops the prefix.
+
+void BM_FastAckTableOps(benchmark::State& state) {
+  Simulator sim;
+  mac::Medium medium(sim, {}, Rng(1));
+  AccessPoint::Config acfg;
+  acfg.id = ApId{0};
+  AccessPoint ap(sim, medium, acfg, Rng(2));
+  ClientStation::Config ccfg;
+  ccfg.id = StationId{1};
+  ccfg.pos = Position{5, 0};
+  ClientStation client(sim, medium, ccfg, Rng(3));
+  ap.associate(&client);
+  fastack::FastAckAgent agent(sim, ap, {});
+  ap.set_interceptor(&agent);
+  ap.set_wire_out([](TcpSegment) {});
+
+  const std::uint64_t kLag = 64 * 1460;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    TcpSegment seg;
+    seg.flow = FlowId{1};
+    seg.dst_station = StationId{1};
+    seg.seq = seq;
+    seg.payload = 1460;
+    benchmark::DoNotOptimize(agent.on_downlink_data(seg));
+    agent.on_80211_delivered(seg);
+    if (seq >= kLag) {
+      TcpSegment ack;
+      ack.flow = FlowId{1};
+      ack.is_ack = true;
+      ack.ack = seq - kLag + 1460;
+      ack.rwnd = 1 << 20;
+      benchmark::DoNotOptimize(agent.on_uplink_ack(ack));
+    }
+    seq += 1460;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FastAckTableOps);
+
+// --- end-to-end: FastACK testbed run, arena vs reference engine ------------
+// The headline A/B: a full contended-cell FastACK scenario. Items = events
+// executed, so items/sec is end-to-end engine throughput.
+
+void testbed_fastack(Simulator::Engine engine, benchmark::State& state) {
+  double thpt = 0.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    scenario::TestbedConfig cfg;
+    cfg.engine = engine;
+    cfg.seed = 1;
+    cfg.n_clients_per_ap = 8;
+    cfg.fastack = {true};
+    cfg.duration = time::seconds(2);
+    cfg.warmup = time::millis(500);
+    scenario::Testbed tb(cfg);
+    tb.run();
+    thpt = tb.aggregate_throughput_mbps();
+    events += tb.simulator().processed_events();
+    benchmark::DoNotOptimize(thpt);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["throughput_mbps"] = thpt;
+}
+
+void BM_TestbedFastAckArena(benchmark::State& state) {
+  testbed_fastack(Simulator::Engine::kArena, state);
+}
+BENCHMARK(BM_TestbedFastAckArena)->Unit(benchmark::kMillisecond);
+
+void BM_TestbedFastAckReference(benchmark::State& state) {
+  testbed_fastack(Simulator::Engine::kReference, state);
+}
+BENCHMARK(BM_TestbedFastAckReference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace w11
+
+// BENCHMARK_MAIN, plus a default JSON report (BENCH_flowsim.json) so the
+// engine speedup numbers land on disk on every plain run.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_flowsim.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).starts_with("--benchmark_out=")) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

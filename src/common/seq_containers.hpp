@@ -1,0 +1,208 @@
+#pragma once
+// Flat containers for sequence-number-keyed datapath state.
+//
+// The TCP/FastACK hot paths are dominated by three access patterns that
+// node-based std::map/std::set serve with a pointer chase and an allocation
+// per entry:
+//
+//   * append at the tail (sequence numbers arrive mostly in order),
+//   * evict a prefix (cumulative ACKs retire the oldest entries),
+//   * point/range lookup by sequence number.
+//
+// SeqRing serves exactly those: a sorted vector with a head offset, so
+// prefix eviction is a pointer bump and tail append is a push_back; the
+// occasional out-of-order insert (an end-to-end retransmission refreshing
+// an evicted range) pays a memmove, which is still cheaper than a rebalance
+// for the sizes involved. Storage is compacted lazily once the dead prefix
+// outweighs the live entries.
+//
+// RangeQueue and IntervalVec are the same idea for range-valued state: the
+// FastACK q_seq set (ordered unique ranges consumed from the front) and the
+// TCP receiver's out-of-order reassembly map (disjoint merged intervals).
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace w11 {
+
+// Sorted (sequence -> value) flat ring. Iterators are vector iterators over
+// the live [head, end) window; they invalidate on any mutation.
+template <typename V>
+class SeqRing {
+ public:
+  using Entry = std::pair<std::uint64_t, V>;
+  using const_iterator = typename std::vector<Entry>::const_iterator;
+
+  [[nodiscard]] std::size_t size() const { return v_.size() - head_; }
+  [[nodiscard]] bool empty() const { return head_ == v_.size(); }
+
+  void clear() {
+    v_.clear();
+    head_ = 0;
+  }
+
+  [[nodiscard]] const_iterator begin() const { return v_.begin() + gap(); }
+  [[nodiscard]] const_iterator end() const { return v_.end(); }
+
+  [[nodiscard]] const Entry& front() const { return v_[head_]; }
+
+  void pop_front() {
+    ++head_;
+    compact_if_stale();
+  }
+
+  // Insert `val` at `key`, overwriting an existing entry.
+  void insert_or_assign(std::uint64_t key, V val) {
+    if (v_.size() > head_ && v_.back().first < key) {  // common case: append
+      v_.emplace_back(key, std::move(val));
+      return;
+    }
+    auto it = lower_bound_mut(key);
+    if (it != v_.end() && it->first == key) {
+      it->second = std::move(val);
+    } else {
+      v_.insert(it, Entry{key, std::move(val)});
+    }
+  }
+
+  // First entry with key > `key` (std::map::upper_bound semantics).
+  [[nodiscard]] const_iterator upper_bound(std::uint64_t key) const {
+    return std::upper_bound(
+        begin(), end(), key,
+        [](std::uint64_t k, const Entry& e) { return k < e.first; });
+  }
+
+  [[nodiscard]] const_iterator lower_bound(std::uint64_t key) const {
+    return std::lower_bound(
+        begin(), end(), key,
+        [](const Entry& e, std::uint64_t k) { return e.first < k; });
+  }
+
+ private:
+  [[nodiscard]] std::ptrdiff_t gap() const {
+    return static_cast<std::ptrdiff_t>(head_);
+  }
+
+  [[nodiscard]] typename std::vector<Entry>::iterator lower_bound_mut(
+      std::uint64_t key) {
+    return std::lower_bound(
+        v_.begin() + gap(), v_.end(), key,
+        [](const Entry& e, std::uint64_t k) { return e.first < k; });
+  }
+
+  void compact_if_stale() {
+    if (head_ >= 64 && head_ * 2 >= v_.size()) {
+      v_.erase(v_.begin(), v_.begin() + gap());
+      head_ = 0;
+    }
+  }
+
+  std::vector<Entry> v_;
+  std::size_t head_ = 0;
+};
+
+// Ordered set of unique [start, end) ranges consumed strictly from the
+// front — std::set<Range> semantics for the FastACK pending-ack queue.
+// Ranges may overlap; exact duplicates are collapsed.
+template <typename Range>
+class RangeQueue {
+ public:
+  [[nodiscard]] std::size_t size() const { return v_.size() - head_; }
+  [[nodiscard]] bool empty() const { return head_ == v_.size(); }
+
+  void clear() {
+    v_.clear();
+    head_ = 0;
+  }
+
+  [[nodiscard]] const Range& front() const { return v_[head_]; }
+
+  void pop_front() {
+    ++head_;
+    if (head_ >= 32 && head_ * 2 >= v_.size()) {
+      v_.erase(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  void insert(Range r) {
+    const auto live = v_.begin() + static_cast<std::ptrdiff_t>(head_);
+    if (v_.end() != live && v_.back() < r) {  // common case: append
+      v_.push_back(r);
+      return;
+    }
+    auto it = std::lower_bound(live, v_.end(), r);
+    if (it != v_.end() && *it == r) return;  // set semantics
+    v_.insert(it, r);
+  }
+
+ private:
+  std::vector<Range> v_;
+  std::size_t head_ = 0;
+};
+
+// Sorted vector of disjoint byte intervals [start, end), merged on insert —
+// the TCP receiver's out-of-order reassembly state. Holes are few at any
+// instant, so front erasure by memmove beats per-node allocation.
+class IntervalVec {
+ public:
+  struct Interval {
+    std::uint64_t start;
+    std::uint64_t end;
+  };
+  using const_iterator = std::vector<Interval>::const_iterator;
+
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] const_iterator begin() const { return v_.begin(); }
+  [[nodiscard]] const_iterator end() const { return v_.end(); }
+  void clear() { v_.clear(); }
+
+  // Merge [start, end) in, coalescing with any overlapping or touching
+  // neighbours (same outcome as the former std::map merge loop).
+  void insert(std::uint64_t start, std::uint64_t end) {
+    auto it = std::lower_bound(
+        v_.begin(), v_.end(), start,
+        [](const Interval& iv, std::uint64_t s) { return iv.start < s; });
+    if (it != v_.begin() && std::prev(it)->end >= start) --it;
+    auto last = it;
+    while (last != v_.end() && last->start <= end) {
+      start = std::min(start, last->start);
+      end = std::max(end, last->end);
+      ++last;
+    }
+    if (it == last) {
+      v_.insert(it, Interval{start, end});
+    } else {
+      it->start = start;
+      it->end = end;
+      v_.erase(it + 1, last);
+    }
+  }
+
+  // Consume every interval reachable from `cursor` (start <= cursor),
+  // advancing it past their ends — the in-order delivery absorb step.
+  [[nodiscard]] std::uint64_t absorb(std::uint64_t cursor) {
+    auto it = v_.begin();
+    while (it != v_.end() && it->start <= cursor) {
+      cursor = std::max(cursor, it->end);
+      ++it;
+    }
+    v_.erase(v_.begin(), it);
+    return cursor;
+  }
+
+  // Total buffered bytes.
+  [[nodiscard]] std::uint64_t held_bytes() const {
+    std::uint64_t held = 0;
+    for (const Interval& iv : v_) held += iv.end - iv.start;
+    return held;
+  }
+
+ private:
+  std::vector<Interval> v_;
+};
+
+}  // namespace w11

@@ -84,7 +84,7 @@ TcpInterceptor::DataAction FastAckAgent::on_downlink_data(TcpSegment& seg) {
   // it jumps the queue (§5.4 case ii).
   if (seq_in < s.seq_exp) {
     if (s.retx_cache.size() < cfg_.retx_cache_segments) {
-      s.retx_cache[seq_in] = seg;
+      s.retx_cache.insert_or_assign(seq_in, seg);
     }
     std::erase_if(s.holes_vec,
                   [&](const Hole& h) { return h.start >= seq_in && h.end <= end; });
@@ -125,7 +125,7 @@ TcpInterceptor::DataAction FastAckAgent::on_downlink_data(TcpSegment& seg) {
 
   // Case (iii): in-order (or first-past-a-hole) data: cache and forward.
   if (s.retx_cache.size() < cfg_.retx_cache_segments) {
-    s.retx_cache[seq_in] = seg;
+    s.retx_cache.insert_or_assign(seq_in, seg);
   } else {
     ++stats_.cache_overflow;
   }
@@ -163,14 +163,14 @@ void FastAckAgent::drain_q_seq(FlowId flow, FlowState& s) {
   // until the missing 802.11 ACK arrives.
   bool advanced = false;
   while (!s.q_seq.empty()) {
-    const auto it = s.q_seq.begin();
-    if (it->end <= s.seq_fack) {
-      s.q_seq.erase(it);  // stale duplicate (e.g. local retransmission)
+    const AckedRange r = s.q_seq.front();
+    if (r.end <= s.seq_fack) {
+      s.q_seq.pop_front();  // stale duplicate (e.g. local retransmission)
       continue;
     }
-    if (it->start <= s.seq_fack) {
-      s.seq_fack = it->end;
-      s.q_seq.erase(it);
+    if (r.start <= s.seq_fack) {
+      s.seq_fack = r.end;
+      s.q_seq.pop_front();
       advanced = true;
       continue;
     }
@@ -191,14 +191,12 @@ bool FastAckAgent::on_uplink_ack(const TcpSegment& ack) {
     s.seq_tcp = ack.ack;
     s.last_client_ack = ack.ack;
     s.client_dupacks = 0;
-    // Evict acknowledged segments from the retransmission cache.
-    for (auto c = s.retx_cache.begin(); c != s.retx_cache.end();) {
-      if (c->second.seq_end() <= s.seq_tcp) {
-        c = s.retx_cache.erase(c);
-        ++stats_.cache_evictions;
-      } else {
-        break;  // map is seq-ordered
-      }
+    // Evict acknowledged segments from the retransmission cache; the ring
+    // is seq-ordered, so retired entries form a strict prefix.
+    while (!s.retx_cache.empty() &&
+           s.retx_cache.front().second.seq_end() <= s.seq_tcp) {
+      s.retx_cache.pop_front();
+      ++stats_.cache_evictions;
     }
     // A suppressed client ACK may carry the window update that un-sticks a
     // stalled sender; re-advertise if the window meaningfully reopened.
@@ -264,7 +262,7 @@ void FastAckAgent::local_retransmit(FlowId flow, FlowState& s,
   // Find the cached segment covering `from_seq`.
   auto it = s.retx_cache.upper_bound(from_seq);
   if (it != s.retx_cache.begin()) {
-    const auto prev = std::prev(it);
+    const auto prev = std::prev(it);  // flat ring: random-access iterator
     if (prev->second.seq_end() > from_seq) it = prev;
   }
   if (it == s.retx_cache.end() || it->first > from_seq) {

@@ -13,12 +13,10 @@
 // seq_tcp <= seq_fack whenever the client is behind the fast-ACK point.
 
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/seq_containers.hpp"
 #include "common/time.hpp"
 #include "net/tcp_segment.hpp"
 
@@ -56,11 +54,15 @@ struct FlowState {
   std::uint64_t seq_exp = 0;
   std::uint64_t seq_fack = 0;
   std::uint64_t seq_tcp = 0;
-  std::set<AckedRange> q_seq;
+  // Ordered unique ranges consumed from the front as contiguity resolves;
+  // flat storage since ranges arrive almost sorted and leave strictly
+  // front-first.
+  RangeQueue<AckedRange> q_seq;
 
-  // Retransmission cache: segment start -> cached copy. Entries are evicted
+  // Retransmission cache: segment start -> cached copy, as a sorted flat
+  // ring of trivially-copyable segments. Entries are evicted front-first
   // when the client's real TCP ACK (seq_tcp) passes them.
-  std::map<std::uint64_t, TcpSegment> retx_cache;
+  SeqRing<TcpSegment> retx_cache;
 
   // Client-side flow-control bookkeeping (§5.5.2).
   std::uint64_t client_rwnd = 0;

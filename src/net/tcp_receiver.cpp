@@ -13,8 +13,7 @@ TcpReceiver::TcpReceiver(Simulator& sim, FlowId flow, Config cfg, AckFn send_ack
 }
 
 std::uint64_t TcpReceiver::advertised_window() const {
-  std::uint64_t held = 0;
-  for (const auto& [start, end] : ooo_) held += end - start;
+  const std::uint64_t held = ooo_.held_bytes();
   const auto buf = static_cast<std::uint64_t>(cfg_.buffer.count());
   return held >= buf ? 0 : buf - held;
 }
@@ -40,32 +39,16 @@ void TcpReceiver::on_data(const TcpSegment& seg) {
       ++stats_.window_overflow_drops;
       return;
     }
-    // Merge [seg.seq, end) into the out-of-order map.
-    auto it = ooo_.lower_bound(seg.seq);
-    if (it != ooo_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second >= seg.seq) it = prev;
-    }
-    std::uint64_t new_start = seg.seq;
-    std::uint64_t new_end = end;
-    while (it != ooo_.end() && it->first <= new_end) {
-      new_start = std::min(new_start, it->first);
-      new_end = std::max(new_end, it->second);
-      it = ooo_.erase(it);
-    }
-    ooo_[new_start] = new_end;
+    // Merge [seg.seq, end) into the out-of-order interval set.
+    ooo_.insert(seg.seq, end);
     // Out-of-order arrival triggers an immediate duplicate ACK (with SACK).
     emit_ack(/*duplicate=*/true);
     return;
   }
 
-  // In-order (possibly overlapping) data: advance rcv_nxt.
-  rcv_nxt_ = end;
-  // Absorb any now-contiguous buffered ranges.
-  for (auto it = ooo_.begin(); it != ooo_.end() && it->first <= rcv_nxt_;) {
-    rcv_nxt_ = std::max(rcv_nxt_, it->second);
-    it = ooo_.erase(it);
-  }
+  // In-order (possibly overlapping) data: advance rcv_nxt, absorbing any
+  // now-contiguous buffered ranges.
+  rcv_nxt_ = ooo_.absorb(end);
 
   if (!ooo_.empty()) {
     // Still holes above us — keep the sender informed immediately.
@@ -90,10 +73,8 @@ void TcpReceiver::emit_ack(bool duplicate) {
   ack.rwnd = advertised_window();
   ack.sent_at = sim_.now();
   if (cfg_.sack_enabled) {
-    for (const auto& [start, seg_end] : ooo_) {
-      ack.sacks.push_back({start, seg_end});
-      if (ack.sacks.size() == 3) break;  // SACK option space limit
-    }
+    // SackList caps itself at the 3-block option space limit.
+    for (const auto& iv : ooo_) ack.sacks.push_back({iv.start, iv.end});
   }
   ++stats_.acks_sent;
   if (duplicate) ++stats_.dup_acks_sent;

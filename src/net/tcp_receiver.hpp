@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 
 #include "common/ids.hpp"
+#include "common/seq_containers.hpp"
 #include "common/units.hpp"
 #include "net/tcp_segment.hpp"
 #include "sim/simulator.hpp"
@@ -58,8 +58,9 @@ class TcpReceiver {
   AckFn send_ack_;
 
   std::uint64_t rcv_nxt_ = 0;
-  // Out-of-order byte ranges held in the buffer: start -> end.
-  std::map<std::uint64_t, std::uint64_t> ooo_;
+  // Out-of-order byte ranges held in the buffer, as merged disjoint
+  // intervals in a flat sorted vector.
+  IntervalVec ooo_;
   int unacked_segments_ = 0;
   EventHandle delack_timer_;
   Stats stats_;

@@ -8,8 +8,9 @@
 // is orthogonal to everything the paper studies and is deliberately
 // excluded from the model.
 
+#include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <type_traits>
 
 #include "common/ids.hpp"
 #include "common/time.hpp"
@@ -21,6 +22,36 @@ struct SackBlock {
   std::uint64_t start = 0;  // first sacked byte
   std::uint64_t end = 0;    // one past last sacked byte
   friend constexpr auto operator<=>(const SackBlock&, const SackBlock&) = default;
+};
+
+// Fixed-capacity SACK block list. Real TCP fits at most 3 SACK blocks next
+// to a timestamp option, so the former std::vector only ever held 0–3
+// entries — at the cost of making every segment copy an allocation. Storing
+// them inline keeps TcpSegment trivially copyable, which is what lets event
+// queues and retransmit caches treat segments as relocatable raw bytes.
+class SackList {
+ public:
+  static constexpr std::size_t kMax = 3;
+
+  [[nodiscard]] constexpr std::size_t size() const { return n_; }
+  [[nodiscard]] constexpr bool empty() const { return n_ == 0; }
+  constexpr void clear() { n_ = 0; }
+
+  // Appends, silently dropping blocks past capacity (the option-space rule
+  // the receiver previously enforced with an explicit break).
+  constexpr void push_back(SackBlock b) {
+    if (n_ < kMax) blocks_[n_++] = b;
+  }
+
+  [[nodiscard]] constexpr const SackBlock& operator[](std::size_t i) const {
+    return blocks_[i];
+  }
+  [[nodiscard]] constexpr const SackBlock* begin() const { return blocks_; }
+  [[nodiscard]] constexpr const SackBlock* end() const { return blocks_ + n_; }
+
+ private:
+  SackBlock blocks_[kMax] = {};
+  std::uint8_t n_ = 0;
 };
 
 struct TcpSegment {
@@ -35,7 +66,7 @@ struct TcpSegment {
   bool udp = false;            // connection-less traffic (Fig. 15 upper bound)
   int dscp = 0;                // IP DSCP mark
 
-  std::vector<SackBlock> sacks;
+  SackList sacks;
 
   // Measurement metadata (not protocol state): segment creation time and
   // the time the AP accepted it from the wire, for latency accounting.
@@ -52,6 +83,11 @@ struct TcpSegment {
     return Bytes{hdr + payload};
   }
 };
+
+// Segments are moved through event captures, retransmit caches and A-MPDU
+// queues by the million; trivial copyability is what makes those moves
+// memcpy-class and lets the flat containers relocate entries freely.
+static_assert(std::is_trivially_copyable_v<TcpSegment>);
 
 // Helper: cumulative-ACK comparison — does `ack_no` acknowledge `seq_end`?
 [[nodiscard]] constexpr bool acks_through(std::uint64_t ack_no, std::uint64_t seq_end) {

@@ -1,43 +1,36 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace w11 {
 
-EventHandle Simulator::schedule_at(Time at, Callback cb) {
-  W11_CHECK_MSG(at >= now_, "cannot schedule into the past");
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{at, next_seq_++, std::move(cb), flag});
-  ++live_events_;
-  return EventHandle{std::move(flag)};
-}
-
-EventHandle Simulator::schedule_after(Time delay, Callback cb) {
-  return schedule_at(now_ + delay, std::move(cb));
-}
-
-void Simulator::pop_and_run() {
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  --live_events_;
-  now_ = ev.at;
-  if (!*ev.cancelled) {
-    ++processed_;
-    ev.cb();
+Simulator::Simulator(Engine engine) : engine_(engine) {
+  if (engine_ == Engine::kArena) {
+    arena_ = std::make_unique<sim_detail::EventArena>();
+    tag_ = new sim_detail::ArenaTag{arena_.get(), 1};
   }
 }
 
-void Simulator::run_until(Time until) {
-  while (!queue_.empty() && queue_.top().at <= until) pop_and_run();
-  if (now_ < until) now_ = until;
+Simulator::~Simulator() {
+  // Retire still-queued reference-engine events so outstanding handles
+  // report not-pending after the simulator dies — the same answer arena
+  // handles get once the tag's arena pointer is nulled below.
+  while (!ref_queue_.empty()) {
+    *ref_queue_.top().cancelled = true;
+    ref_queue_.pop();
+  }
+  if (tag_ != nullptr) {
+    tag_->arena = nullptr;
+    if (--tag_->refs == 0) delete tag_;
+  }
 }
 
-void Simulator::run() {
-  while (!queue_.empty()) pop_and_run();
-}
-
-bool Simulator::step() {
-  if (queue_.empty()) return false;
-  pop_and_run();
-  return true;
+void Simulator::enable_event_trace(std::size_t capacity) {
+  trace_on_ = true;
+  trace_capacity_ = capacity;
+  trace_.clear();
+  trace_.reserve(std::min<std::size_t>(capacity, 4096));
+  digest_ = 14695981039346656037ull;
 }
 
 }  // namespace w11

@@ -1,19 +1,40 @@
 #pragma once
 // Discrete-event simulation engine.
 //
-// The Simulator owns a priority queue of (time, sequence, callback) events.
-// Events scheduled for the same instant run in scheduling order (the
+// The Simulator executes (time, sequence, callback) events in (time, seq)
+// order: events scheduled for the same instant run in scheduling order (the
 // sequence number breaks ties deterministically). Handles returned by
 // schedule() can cancel pending events, which is how timers are retired.
+//
+// Two interchangeable engines implement that contract (DESIGN.md §11):
+//
+//   kArena (default) — slab-allocated event records recycled through a free
+//     list, small-buffer-optimized callbacks (sim::SmallFn) so per-packet
+//     lambdas do not heap-allocate, a 4-ary indexed heap over compact
+//     (time, seq, slot) keys, and generation-counted handles for O(1)
+//     cancellation. Steady-state scheduling is allocation-free.
+//
+//   kReference — the pre-overhaul engine, preserved verbatim: a
+//     std::priority_queue of fat event records, one shared_ptr<bool> cancel
+//     flag allocated per event. Exists so golden tests and benches can
+//     prove, per run, that the arena engine executes the exact same event
+//     sequence and is only faster.
+//
+// Both engines produce bit-for-bit identical execution orders because the
+// (time, seq) order is a strict total order (seq is unique): any correct
+// implementation pops the same sequence.
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/time.hpp"
+#include "sim/event_arena.hpp"
+#include "sim/small_fn.hpp"
 
 namespace w11 {
 
@@ -21,20 +42,28 @@ class EventHandle;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::SmallFn;
 
-  Simulator() = default;
+  enum class Engine { kArena, kReference };
+
+  explicit Simulator(Engine engine = Engine::kArena);
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] Engine engine() const { return engine_; }
 
   // Schedule `cb` at absolute time `at` (must be >= now). Returns a handle
-  // that can cancel the event while it is still pending.
-  EventHandle schedule_at(Time at, Callback cb);
+  // that can cancel the event while it is still pending. Templated so the
+  // capture is constructed directly inside the slab record — no relocating
+  // move of the callable between the call site and the event store.
+  template <typename F>
+  EventHandle schedule_at(Time at, F&& cb);
 
   // Schedule `cb` after a relative delay.
-  EventHandle schedule_after(Time delay, Callback cb);
+  template <typename F>
+  EventHandle schedule_after(Time delay, F&& cb);
 
   // Run until the queue drains or simulated time exceeds `until`.
   void run_until(Time until);
@@ -48,47 +77,249 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return live_events_; }
   [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
 
+  // --- execution-order observability (golden tests) ----------------------
+  // Record every processed event's (time, seq). The digest is an FNV-1a
+  // fold over the full stream; the trace vector keeps the first `capacity`
+  // entries so mismatches are debuggable without unbounded memory.
+  struct ProcessedEvent {
+    Time at;
+    std::uint64_t seq;
+    friend constexpr bool operator==(const ProcessedEvent&,
+                                     const ProcessedEvent&) = default;
+  };
+  void enable_event_trace(std::size_t capacity = 1u << 20);
+  [[nodiscard]] const std::vector<ProcessedEvent>& event_trace() const {
+    return trace_;
+  }
+  [[nodiscard]] std::uint64_t event_digest() const { return digest_; }
+
  private:
-  struct Event {
+  struct RefEvent {
     Time at;
     std::uint64_t seq;
     Callback cb;
     std::shared_ptr<bool> cancelled;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+  struct RefLater {
+    bool operator()(const RefEvent& a, const RefEvent& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  void pop_and_run();
+  void pop_and_run_arena();
+  void pop_and_run_ref();
 
+  void note_processed(Time at, std::uint64_t seq) {
+    if (!trace_on_) return;
+    // FNV-1a over the (at, seq) stream.
+    auto mix = [this](std::uint64_t v) {
+      digest_ ^= v;
+      digest_ *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(at.ns()));
+    mix(seq);
+    if (trace_.size() < trace_capacity_) trace_.push_back({at, seq});
+  }
+
+  Engine engine_;
   Time now_{};
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t live_events_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  // kArena engine state. The tag is heap-allocated so outstanding handles
+  // can outlive the Simulator; ~Simulator nulls tag_->arena and drops its
+  // reference.
+  std::unique_ptr<sim_detail::EventArena> arena_;
+  sim_detail::ArenaTag* tag_ = nullptr;
+  sim_detail::TimerHeap heap_;
+
+  // kReference engine state.
+  std::priority_queue<RefEvent, std::vector<RefEvent>, RefLater> ref_queue_;
+
+  bool trace_on_ = false;
+  std::size_t trace_capacity_ = 0;
+  std::uint64_t digest_ = 14695981039346656037ull;  // FNV offset basis
+  std::vector<ProcessedEvent> trace_;
 
   friend class EventHandle;
 };
 
 // Cancellation token for a scheduled event. Copyable; cancelling any copy
-// cancels the event. A default-constructed handle is inert.
+// cancels the event. A default-constructed handle is inert. Every
+// degenerate use is a safe no-op: cancelling after the event ran, after the
+// slot was recycled for a newer event (the generation check fails), or
+// after the Simulator itself was destroyed (the shared ArenaTag's arena
+// pointer is nulled by ~Simulator, and the tag outlives both sides via its
+// refcount — non-atomic on purpose, see ArenaTag).
 class EventHandle {
  public:
   EventHandle() = default;
 
-  void cancel() {
-    if (flag_ && !*flag_) *flag_ = true;
+  EventHandle(const EventHandle& o)
+      : flag_(o.flag_), tag_(o.tag_), slot_(o.slot_), gen_(o.gen_) {
+    if (tag_ != nullptr) ++tag_->refs;
   }
-  [[nodiscard]] bool pending() const { return flag_ && !*flag_; }
+  EventHandle(EventHandle&& o) noexcept
+      : flag_(std::move(o.flag_)), tag_(o.tag_), slot_(o.slot_), gen_(o.gen_) {
+    o.tag_ = nullptr;
+  }
+  EventHandle& operator=(const EventHandle& o) {
+    if (this != &o) {
+      release_tag();
+      flag_ = o.flag_;
+      tag_ = o.tag_;
+      slot_ = o.slot_;
+      gen_ = o.gen_;
+      if (tag_ != nullptr) ++tag_->refs;
+    }
+    return *this;
+  }
+  EventHandle& operator=(EventHandle&& o) noexcept {
+    if (this != &o) {
+      release_tag();
+      flag_ = std::move(o.flag_);
+      tag_ = o.tag_;
+      o.tag_ = nullptr;
+      slot_ = o.slot_;
+      gen_ = o.gen_;
+    }
+    return *this;
+  }
+  ~EventHandle() { release_tag(); }
+
+  void cancel() {
+    if (flag_) {  // reference engine
+      if (!*flag_) *flag_ = true;
+      return;
+    }
+    if (tag_ != nullptr && tag_->arena != nullptr &&
+        tag_->arena->live(slot_, gen_))
+      tag_->arena->slot(slot_).cancelled = true;
+  }
+
+  [[nodiscard]] bool pending() const {
+    if (flag_) return !*flag_;
+    return tag_ != nullptr && tag_->arena != nullptr &&
+           tag_->arena->live(slot_, gen_) &&
+           !tag_->arena->slot(slot_).cancelled;
+  }
 
  private:
+  EventHandle(sim_detail::ArenaTag* tag, std::uint32_t slot, std::uint32_t gen)
+      : tag_(tag), slot_(slot), gen_(gen) {
+    ++tag_->refs;
+  }
   explicit EventHandle(std::shared_ptr<bool> flag) : flag_(std::move(flag)) {}
+
+  void release_tag() noexcept {
+    if (tag_ != nullptr && --tag_->refs == 0) delete tag_;
+    tag_ = nullptr;
+  }
+
   std::shared_ptr<bool> flag_;
+  sim_detail::ArenaTag* tag_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
   friend class Simulator;
 };
+
+// --- hot-path definitions ---------------------------------------------------
+// Scheduling and dispatch live in the header so call sites (per-packet
+// lambdas on the wire/MAC paths, the bench loops) can inline the whole
+// schedule -> heap-push and pop -> run sequences.
+
+template <typename F>
+inline EventHandle Simulator::schedule_at(Time at, F&& cb) {
+  W11_CHECK_MSG(at >= now_, "cannot schedule into the past");
+  const std::uint64_t seq = next_seq_++;
+  ++live_events_;
+  if (engine_ == Engine::kArena) {
+    const std::uint32_t idx = arena_->acquire();
+    sim_detail::EventSlot& s = arena_->slot(idx);
+    if constexpr (std::is_same_v<std::remove_cvref_t<F>, Callback>) {
+      s.cb = std::forward<F>(cb);
+    } else {
+      s.cb.emplace(std::forward<F>(cb));
+    }
+    heap_.push({at, seq, idx});
+    return EventHandle{tag_, idx, s.gen};
+  }
+  auto flag = std::make_shared<bool>(false);
+  ref_queue_.push(RefEvent{at, seq, Callback(std::forward<F>(cb)), flag});
+  return EventHandle{std::move(flag)};
+}
+
+template <typename F>
+inline EventHandle Simulator::schedule_after(Time delay, F&& cb) {
+  return schedule_at(now_ + delay, std::forward<F>(cb));
+}
+
+inline void Simulator::pop_and_run_arena() {
+  const sim_detail::TimerHeap::Entry entry = heap_.top();
+  heap_.pop();
+  --live_events_;
+  now_ = entry.at;
+  sim_detail::EventSlot& slot = arena_->slot(entry.slot);
+  if (slot.cancelled) {
+    arena_->release(entry.slot);
+    return;
+  }
+  ++processed_;
+  note_processed(entry.at, entry.seq);
+  // Run the callback in place: the slot is off the free list while it
+  // executes and chunk addresses are stable, so the captures cannot move
+  // or be overwritten even if the callback schedules new events. release()
+  // afterwards destroys the captures and bumps the generation, making the
+  // event's own handle inert; a self-cancel during the callback only sets
+  // a flag on a slot that is already past its cancellation check.
+  slot.cb();
+  arena_->release(entry.slot);
+}
+
+inline void Simulator::pop_and_run_ref() {
+  RefEvent ev = std::move(const_cast<RefEvent&>(ref_queue_.top()));
+  ref_queue_.pop();
+  --live_events_;
+  now_ = ev.at;
+  if (*ev.cancelled) return;
+  // Retire before running so the event's own handle is inert during its
+  // callback — the same contract the arena engine's generation bump gives.
+  *ev.cancelled = true;
+  ++processed_;
+  note_processed(ev.at, ev.seq);
+  ev.cb();
+}
+
+inline void Simulator::run_until(Time until) {
+  if (engine_ == Engine::kArena) {
+    while (!heap_.empty() && heap_.top().at <= until) pop_and_run_arena();
+  } else {
+    while (!ref_queue_.empty() && ref_queue_.top().at <= until)
+      pop_and_run_ref();
+  }
+  if (now_ < until) now_ = until;
+}
+
+inline void Simulator::run() {
+  if (engine_ == Engine::kArena) {
+    while (!heap_.empty()) pop_and_run_arena();
+  } else {
+    while (!ref_queue_.empty()) pop_and_run_ref();
+  }
+}
+
+inline bool Simulator::step() {
+  if (engine_ == Engine::kArena) {
+    if (heap_.empty()) return false;
+    pop_and_run_arena();
+  } else {
+    if (ref_queue_.empty()) return false;
+    pop_and_run_ref();
+  }
+  return true;
+}
 
 // A repeating timer built on the Simulator. Fires first after `period`
 // (or `first_delay` if given), then every `period` until stopped/destroyed.

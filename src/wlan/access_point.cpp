@@ -80,8 +80,8 @@ void AccessPoint::wire_in(TcpSegment seg) {
   if (seg.has_payload() && !seg.udp) {
     // Record for the AP-side TCP latency metric (§4.6.2).
     auto& pend = tcp_pending_[seg.flow];
-    pend[seg.seq_end()] = sim_.now();
-    if (pend.size() > 4096) pend.erase(pend.begin());  // bound stale state
+    pend.insert_or_assign(seg.seq_end(), sim_.now());
+    if (pend.size() > 4096) pend.pop_front();  // bound stale state
   }
 
   enqueue(*ctx, ac, QueuedMpdu{std::move(seg), 0, sim_.now()}, priority);
@@ -105,8 +105,10 @@ void AccessPoint::uplink_receive(TcpSegment seg) {
     auto it = tcp_pending_.find(seg.flow);
     if (it != tcp_pending_.end()) {
       auto& pend = it->second;
-      for (auto p = pend.begin(); p != pend.end() && p->first <= seg.ack;)
-        p = (stats_.tcp_latency.add((sim_.now() - p->second).ms()), pend.erase(p));
+      while (!pend.empty() && pend.front().first <= seg.ack) {
+        stats_.tcp_latency.add((sim_.now() - pend.front().second).ms());
+        pend.pop_front();
+      }
     }
     if (interceptor_ != nullptr && interceptor_->on_uplink_ack(seg)) {
       ++stats_.acks_suppressed;
@@ -252,19 +254,28 @@ void AccessPoint::end_txop(AccessCategory ac, bool collided) {
     std::vector<QueuedMpdu> retries;
     // Per-MPDU delivery: all MSDUs in an A-MSDU bundle share one FCS, so
     // the whole bundle succeeds or fails together on its combined length.
-    std::map<int, bool> bundle_acked;
-    for (const auto& mpdu : txop.batch) {
-      if (bundle_acked.contains(mpdu.bundle)) continue;
-      int bundle_bytes = 40;  // MPDU framing
-      for (const auto& other : txop.batch)
-        if (other.bundle == mpdu.bundle)
-          bundle_bytes += static_cast<int>(other.seg.wire_size().count()) + 14;
-      const double per = mcs::packet_error_rate(txop.decision.mcs,
-                                                txop.decision.snr, bundle_bytes);
-      bundle_acked[mpdu.bundle] = !rng_.bernoulli(per) && txop.decision.viable;
+    // Bundle ids are dense (0..n_bundles-1, bounded by the A-MPDU MPDU
+    // cap), so a fixed bitmask replaces the former std::map<int, bool>: one
+    // pass accumulates per-bundle lengths, then one Bernoulli draw per
+    // bundle in increasing id order — the same draw order as the old
+    // first-occurrence walk, so RNG streams are unchanged.
+    static_assert(mac::kMaxAmpduMpdus <= 64,
+                  "bundle_acked bitmask holds one bit per A-MPDU bundle");
+    std::array<int, mac::kMaxAmpduMpdus> bundle_bytes;
+    bundle_bytes.fill(40);  // MPDU framing
+    for (const auto& mpdu : txop.batch)
+      bundle_bytes[static_cast<std::size_t>(mpdu.bundle)] +=
+          static_cast<int>(mpdu.seg.wire_size().count()) + 14;
+    std::uint64_t bundle_acked = 0;
+    for (int b = 0; b < txop.n_bundles; ++b) {
+      const double per = mcs::packet_error_rate(
+          txop.decision.mcs, txop.decision.snr,
+          bundle_bytes[static_cast<std::size_t>(b)]);
+      if (!rng_.bernoulli(per) && txop.decision.viable)
+        bundle_acked |= std::uint64_t{1} << b;
     }
     for (auto& mpdu : txop.batch) {
-      const bool acked = bundle_acked.at(mpdu.bundle);
+      const bool acked = (bundle_acked >> mpdu.bundle) & 1u;
       if (acked) {
         ++stats_.mpdus_acked_by_ac[aci];
         stats_.latency_80211_by_ac[aci].add((sim_.now() - mpdu.enqueued_at).ms());

@@ -19,13 +19,13 @@
 #include <array>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "common/seq_containers.hpp"
 #include "common/stats.hpp"
 #include "mac/aggregation.hpp"
 #include "mac/medium.hpp"
@@ -173,8 +173,10 @@ class AccessPoint {
   std::unordered_map<StationId, ClientCtx> clients_;
   std::vector<StationId> client_order_;  // stable round-robin order
 
-  // TCP-latency bookkeeping: flow -> (seq_end -> forwarded-at).
-  std::unordered_map<FlowId, std::map<std::uint64_t, Time>> tcp_pending_;
+  // TCP-latency bookkeeping: flow -> (seq_end -> forwarded-at). Entries
+  // arrive in (nearly) sequence order and retire front-first as ACKs cover
+  // them, which is exactly the SeqRing access pattern.
+  std::unordered_map<FlowId, SeqRing<Time>> tcp_pending_;
 
   Stats stats_;
 };

@@ -352,6 +352,154 @@ TEST_F(FastAckRig, WindowUpdateEmittedWhenWindowReopens) {
   EXPECT_EQ(agent_->stats().window_updates_sent, 1u);
 }
 
+// ----------------------------------------------- flat retx-cache paths --
+// The retransmission cache is a sorted flat ring (SeqRing); these pin the
+// eviction, overflow and dup-ACK/SACK service semantics the node-based map
+// used to provide.
+
+TEST_F(FastAckRig, PartialAckEvictsOnlyCoveredPrefix) {
+  for (int i = 0; i < 6; ++i) {
+    TcpSegment seg = data(1460u * static_cast<std::uint64_t>(i));
+    agent_->on_downlink_data(seg);
+    air_ack(1460u * static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(state().retx_cache.size(), 6u);
+  // Client acks through 3 segments: exactly that prefix is evicted; the
+  // un-acked tail must stay cached (it may still need local service).
+  (void)agent_->on_uplink_ack(client_ack(3u * 1460u));
+  EXPECT_EQ(agent_->stats().cache_evictions, 3u);
+  ASSERT_EQ(state().retx_cache.size(), 3u);
+  EXPECT_EQ(state().retx_cache.begin()->first, 3u * 1460u);
+  EXPECT_GE(state().retx_cache.begin()->second.seq_end(), state().seq_tcp);
+  // Acking the rest drains the cache entirely.
+  (void)agent_->on_uplink_ack(client_ack(6u * 1460u));
+  EXPECT_TRUE(state().retx_cache.empty());
+  EXPECT_EQ(agent_->stats().cache_evictions, 6u);
+}
+
+TEST_F(FastAckRig, CacheOverflowCountsAndSkipsCaching) {
+  FastAckAgent::Config cfg;
+  cfg.retx_cache_segments = 4;
+  init(cfg);
+  for (int i = 0; i < 6; ++i) {
+    TcpSegment seg = data(1460u * static_cast<std::uint64_t>(i));
+    agent_->on_downlink_data(seg);
+  }
+  // Only the first 4 made it into the cache; the remainder counted overflow.
+  EXPECT_EQ(state().retx_cache.size(), 4u);
+  EXPECT_EQ(agent_->stats().cache_overflow, 2u);
+  // An e2e retransmission of an uncached segment at capacity must not grow
+  // or refresh the cache (at-capacity refresh is skipped by design).
+  TcpSegment retx = data(4u * 1460u);
+  EXPECT_EQ(agent_->on_downlink_data(retx),
+            TcpInterceptor::DataAction::kForwardPriority);
+  EXPECT_EQ(state().retx_cache.size(), 4u);
+}
+
+TEST_F(FastAckRig, DupAckServiceFindsCoveringSegmentMidCache) {
+  // Fill the cache, fast-ack everything, then have the client stall at a
+  // byte in the *middle* of a cached segment: the covering-segment lookup
+  // (upper_bound + one-back) must find it and replay from there.
+  for (int i = 0; i < 5; ++i) {
+    TcpSegment seg = data(1460u * static_cast<std::uint64_t>(i));
+    agent_->on_downlink_data(seg);
+    air_ack(1460u * static_cast<std::uint64_t>(i));
+  }
+  const std::uint64_t mid = 2u * 1460u + 700u;  // inside segment #2
+  (void)agent_->on_uplink_ack(client_ack(mid));
+  const std::size_t depth_before = ap_->queue_depth(StationId{7});
+  (void)agent_->on_uplink_ack(client_ack(mid));  // dupack
+  // Segments #2, #3, #4 are at-or-after the stall point and below seq_fack.
+  EXPECT_EQ(agent_->stats().local_retransmits, 3u);
+  EXPECT_EQ(ap_->queue_depth(StationId{7}), depth_before + 3);
+}
+
+TEST_F(FastAckRig, DupAckBelowEvictedPrefixIsCacheMiss) {
+  for (int i = 0; i < 4; ++i) {
+    TcpSegment seg = data(1460u * static_cast<std::uint64_t>(i));
+    agent_->on_downlink_data(seg);
+    air_ack(1460u * static_cast<std::uint64_t>(i));
+  }
+  (void)agent_->on_uplink_ack(client_ack(4u * 1460u));  // evicts everything
+  EXPECT_TRUE(state().retx_cache.empty());
+  // A dup-ACK at the (fully evicted) ack point must be a clean cache miss —
+  // no crash, no bogus injection; the sender's own machinery recovers.
+  (void)agent_->on_uplink_ack(client_ack(4u * 1460u));  // dupack, cache empty
+  EXPECT_EQ(agent_->stats().local_retransmits, 0u);
+}
+
+TEST_F(FastAckRig, HoleDupAcksCarrySackOfArrivedRange) {
+  // SACK generation rides the flat path end to end: the emulated dup ACKs
+  // for an upstream hole must carry the arrived (out-of-order) range.
+  TcpSegment a = data(0);
+  agent_->on_downlink_data(a);
+  wire_.clear();
+  TcpSegment jump = data(4380, 2920);  // skipped [1460, 4380)
+  agent_->on_downlink_data(jump);
+  ASSERT_EQ(wire_.size(), 3u);
+  for (const auto& dup : wire_) {
+    ASSERT_EQ(dup.sacks.size(), 1u);
+    EXPECT_EQ(dup.sacks[0].start, 4380u);
+    EXPECT_EQ(dup.sacks[0].end, 7300u);
+    EXPECT_EQ(dup.wire_size(), Bytes{52});  // SACK option space counted
+  }
+}
+
+TEST_F(FastAckRig, EndToEndRetransmitRefreshesCachedCopy) {
+  TcpSegment a = data(0), b = data(1460);
+  agent_->on_downlink_data(a);
+  agent_->on_downlink_data(b);
+  // The sender's retransmission of segment 0 carries a different DSCP; the
+  // cached copy must be replaced in place (same key, updated value).
+  TcpSegment retx = data(0);
+  retx.dscp = 46;
+  agent_->on_downlink_data(retx);
+  EXPECT_EQ(state().retx_cache.size(), 2u);
+  EXPECT_EQ(state().retx_cache.begin()->second.dscp, 46);
+}
+
+// ------------------------------------------------- bounded-table GC (PR 1) --
+
+TEST_F(FastAckRig, CapacityEvictionKeepsTableBounded) {
+  FastAckAgent::Config cfg;
+  cfg.max_flows = 3;
+  cfg.flow_idle_timeout = time::seconds(3600);  // idle GC out of the picture
+  init(cfg);
+  for (std::uint32_t f = 1; f <= 5; ++f) {
+    TcpSegment seg = data(0);
+    seg.flow = FlowId{f};
+    agent_->on_downlink_data(seg);
+    EXPECT_LE(agent_->tracked_flows(), 3u);
+  }
+  EXPECT_EQ(agent_->tracked_flows(), 3u);
+  EXPECT_EQ(agent_->stats().flows_evicted_capacity, 2u);
+  EXPECT_EQ(agent_->stats().flows_evicted_idle, 0u);
+}
+
+TEST_F(FastAckRig, IdleFlowsCollectedBeforeCapacityEviction) {
+  FastAckAgent::Config cfg;
+  cfg.max_flows = 2;
+  cfg.flow_idle_timeout = time::millis(10);
+  init(cfg);
+  TcpSegment s1 = data(0);
+  s1.flow = FlowId{1};
+  agent_->on_downlink_data(s1);
+  TcpSegment s2 = data(0);
+  s2.flow = FlowId{2};
+  agent_->on_downlink_data(s2);
+  // Both flows go idle past the timeout; a new flow's arrival must GC them
+  // instead of evicting an active flow by recency.
+  sim_.schedule_at(time::millis(50), [] {});
+  sim_.run();
+  TcpSegment s3 = data(0);
+  s3.flow = FlowId{3};
+  agent_->on_downlink_data(s3);
+  EXPECT_EQ(agent_->stats().flows_evicted_idle, 2u);
+  EXPECT_EQ(agent_->stats().flows_evicted_capacity, 0u);
+  EXPECT_EQ(agent_->tracked_flows(), 1u);
+  EXPECT_NE(agent_->flow_state(FlowId{3}), nullptr);
+}
+
 // ----------------------------------------------------------- invariants --
 
 TEST_F(FastAckRig, InvariantSeqFackNeverExceedsSeqExp) {

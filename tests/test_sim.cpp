@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -163,6 +165,153 @@ TEST(PeriodicTimer, DestructionCancels) {
 TEST(PeriodicTimer, ZeroPeriodRejected) {
   Simulator sim;
   EXPECT_THROW(PeriodicTimer(sim, Time{0}, [] {}), std::logic_error);
+}
+
+// --- EventHandle lifetime hazards ------------------------------------------
+// A handle may legally outlive everything it refers to: the event (already
+// run), the slot (recycled for a newer event), or the whole Simulator. All
+// of those must be safe no-ops, on both engines.
+
+class EventHandleLifetime
+    : public ::testing::TestWithParam<Simulator::Engine> {};
+
+TEST_P(EventHandleLifetime, CancelAfterSimulatorDestroyedIsSafe) {
+  auto sim = std::make_unique<Simulator>(GetParam());
+  EventHandle pending = sim->schedule_at(time::millis(5), [] {});
+  EventHandle ran = sim->schedule_at(time::millis(1), [] {});
+  sim->run_until(time::millis(2));
+  sim.reset();  // arena and queue die with the simulator
+  EXPECT_FALSE(pending.pending());
+  EXPECT_FALSE(ran.pending());
+  pending.cancel();  // must not touch freed memory
+  ran.cancel();
+}
+
+TEST_P(EventHandleLifetime, CancelAfterExecutionIsInert) {
+  Simulator sim(GetParam());
+  int runs = 0;
+  EventHandle h = sim.schedule_at(time::millis(1), [&] { ++runs; });
+  sim.run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+  // Cancelling a completed event must not disturb later scheduling.
+  sim.schedule_after(time::millis(1), [&] { ++runs; });
+  sim.run();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST_P(EventHandleLifetime, StaleHandleCannotCancelSlotReuse) {
+  Simulator sim(GetParam());
+  EventHandle old = sim.schedule_at(time::millis(1), [] {});
+  sim.run();  // old's storage is recycled
+  // The next event takes over the freed storage (slot 0 in the arena); a
+  // stale handle's cancel must not leak through to it.
+  bool ran = false;
+  EventHandle fresh = sim.schedule_after(time::millis(1), [&] { ran = true; });
+  old.cancel();
+  EXPECT_TRUE(fresh.pending());
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST_P(EventHandleLifetime, CancelledSlotReuseIsIsolated) {
+  Simulator sim(GetParam());
+  EventHandle a = sim.schedule_at(time::millis(1), [] {});
+  a.cancel();
+  sim.run();  // pops and recycles the cancelled record
+  bool ran = false;
+  sim.schedule_after(time::millis(1), [&] { ran = true; });
+  a.cancel();  // stale again — different generation now
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST_P(EventHandleLifetime, DefaultConstructedHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST_P(EventHandleLifetime, CopiedHandleCancelsSameEvent) {
+  Simulator sim(GetParam());
+  bool ran = false;
+  EventHandle h = sim.schedule_at(time::millis(1), [&] { ran = true; });
+  EventHandle copy = h;
+  copy.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST_P(EventHandleLifetime, SelfCancelDuringExecutionIsSafe) {
+  Simulator sim(GetParam());
+  EventHandle h;
+  int runs = 0;
+  h = sim.schedule_at(time::millis(1), [&] {
+    ++runs;
+    h.cancel();  // cancelling the event currently running: no-op
+  });
+  sim.run();
+  EXPECT_EQ(runs, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, EventHandleLifetime,
+                         ::testing::Values(Simulator::Engine::kArena,
+                                           Simulator::Engine::kReference),
+                         [](const auto& param_info) {
+                           return param_info.param == Simulator::Engine::kArena
+                                      ? "Arena"
+                                      : "Reference";
+                         });
+
+// --- arena-engine internals -------------------------------------------------
+
+TEST(Simulator, OversizedCallbackCapturesSurviveHeapFallback) {
+  // Captures past SmallFn's inline buffer take the heap path; they must
+  // still run with their payload intact.
+  static_assert(sizeof(std::array<std::uint64_t, 64>) >
+                sim::SmallFn::kInlineBytes);
+  Simulator sim;
+  std::array<std::uint64_t, 64> big{};
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i * 31;
+  std::uint64_t sum = 0;
+  sim.schedule_at(time::millis(1), [big, &sum] {
+    for (std::uint64_t v : big) sum += v;
+  });
+  sim.run();
+  std::uint64_t want = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) want += i * 31;
+  EXPECT_EQ(sum, want);
+}
+
+TEST(Simulator, SlotRecyclingKeepsArenaBounded) {
+  // A schedule/run ping-pong must reuse one slot, not grow a chunk per
+  // event: steady state is allocation-free.
+  Simulator sim;
+  std::uint64_t fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 10'000) sim.schedule_after(time::micros(1), tick);
+  };
+  sim.schedule_at(Time{0}, tick);
+  sim.run();
+  EXPECT_EQ(fired, 10'000u);
+}
+
+TEST(Simulator, EventTraceRecordsTimeAndSeq) {
+  Simulator sim;
+  sim.enable_event_trace();
+  sim.schedule_at(time::millis(2), [] {});
+  sim.schedule_at(time::millis(1), [] {});
+  EventHandle h = sim.schedule_at(time::millis(3), [] {});
+  h.cancel();
+  sim.run();
+  ASSERT_EQ(sim.event_trace().size(), 2u);  // cancelled event not processed
+  EXPECT_EQ(sim.event_trace()[0].at, time::millis(1));
+  EXPECT_EQ(sim.event_trace()[0].seq, 1u);
+  EXPECT_EQ(sim.event_trace()[1].at, time::millis(2));
+  EXPECT_EQ(sim.event_trace()[1].seq, 0u);
+  EXPECT_NE(sim.event_digest(), 0u);
 }
 
 }  // namespace

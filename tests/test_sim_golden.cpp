@@ -1,0 +1,161 @@
+// Golden equivalence tests: the arena event engine vs the preserved
+// pre-overhaul reference engine (DESIGN.md §11).
+//
+// The determinism contract says both engines execute the identical event
+// sequence — (time, seq) is a strict total order, so any correct engine pops
+// the same stream. These tests pin that down two ways:
+//
+//   EngineGolden.*        — synthetic random workloads (nested scheduling,
+//                           cancellations, same-instant bursts) must produce
+//                           bit-for-bit identical processed-event traces.
+//   EngineGoldenTestbed.* — full testbed scenarios (FastACK on) must produce
+//                           the identical event digest AND identical
+//                           end-of-run flowsim metrics: throughput, A-MPDU
+//                           size means, FastACK counters.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "scenario/testbed.hpp"
+#include "sim/simulator.hpp"
+
+namespace w11 {
+namespace {
+
+// A randomized self-scheduling workload: each event may spawn followers at
+// random offsets (including zero — same-instant ties), cancel a random
+// outstanding handle, or go quiet. Runs identically on any engine because
+// all randomness comes from the seeded Rng.
+struct WorkloadResult {
+  std::vector<Simulator::ProcessedEvent> trace;
+  std::uint64_t digest = 0;
+  std::uint64_t processed = 0;
+  Time end{};
+};
+
+WorkloadResult run_synthetic(Simulator::Engine engine, std::uint64_t seed) {
+  Simulator sim(engine);
+  sim.enable_event_trace();
+  Rng rng(seed);
+  std::vector<EventHandle> handles;
+  std::uint64_t spawned = 0;
+
+  std::function<void()> node = [&] {
+    // Bounded fan-out keeps the run finite (~3k events per seed).
+    if (spawned > 3000) return;
+    const int kids = static_cast<int>(rng.uniform_int(0, 3));
+    for (int k = 0; k < kids; ++k) {
+      const Time dt = time::nanos(rng.uniform_int(0, 500));  // 0 => tie
+      handles.push_back(sim.schedule_after(dt, node));
+      ++spawned;
+    }
+    if (!handles.empty() && rng.bernoulli(0.2)) {
+      handles[rng.index(handles.size())].cancel();
+    }
+  };
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(sim.schedule_at(time::nanos(i * 7), node));
+    ++spawned;
+  }
+  sim.run();
+  return {sim.event_trace(), sim.event_digest(), sim.processed_events(),
+          sim.now()};
+}
+
+class EngineGolden : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineGolden, SyntheticWorkloadTracesAreIdentical) {
+  const WorkloadResult arena =
+      run_synthetic(Simulator::Engine::kArena, GetParam());
+  const WorkloadResult ref =
+      run_synthetic(Simulator::Engine::kReference, GetParam());
+  EXPECT_GT(arena.processed, 100u);  // the workload actually did something
+  EXPECT_EQ(arena.processed, ref.processed);
+  EXPECT_EQ(arena.digest, ref.digest);
+  EXPECT_EQ(arena.end, ref.end);
+  ASSERT_EQ(arena.trace.size(), ref.trace.size());
+  for (std::size_t i = 0; i < arena.trace.size(); ++i) {
+    ASSERT_EQ(arena.trace[i], ref.trace[i]) << "divergence at event " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineGolden,
+                         ::testing::Values(1u, 7u, 42u, 1337u));
+
+// --- full-scenario equivalence ---------------------------------------------
+
+struct TestbedResult {
+  std::uint64_t digest = 0;
+  std::uint64_t processed = 0;
+  double throughput_mbps = 0.0;
+  std::vector<double> ampdu_means;
+  std::uint64_t fast_acks = 0;
+  std::uint64_t local_retransmits = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t acks_suppressed = 0;
+};
+
+TestbedResult run_testbed(Simulator::Engine engine, std::uint64_t seed) {
+  scenario::TestbedConfig cfg;
+  cfg.engine = engine;
+  cfg.seed = seed;
+  cfg.n_aps = 1;
+  cfg.n_clients_per_ap = 4;
+  cfg.fastack = {true};
+  cfg.duration = time::seconds(2);
+  cfg.warmup = time::millis(500);
+  scenario::Testbed tb(cfg);
+  tb.simulator().enable_event_trace(/*capacity=*/0);  // digest only
+  tb.run();
+
+  TestbedResult r;
+  r.digest = tb.simulator().event_digest();
+  r.processed = tb.simulator().processed_events();
+  r.throughput_mbps = tb.aggregate_throughput_mbps();
+  r.ampdu_means = tb.mean_ampdu_per_client(0);
+  const fastack::FlowStats& fs = tb.agent(0)->stats();
+  r.fast_acks = fs.fast_acks_sent;
+  r.local_retransmits = fs.local_retransmits;
+  r.cache_evictions = fs.cache_evictions;
+  r.acks_suppressed = tb.ap(0).stats().acks_suppressed;
+  return r;
+}
+
+class EngineGoldenTestbed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineGoldenTestbed, FlowsimMetricsMatchReferenceEngine) {
+  const TestbedResult arena =
+      run_testbed(Simulator::Engine::kArena, GetParam());
+  const TestbedResult ref =
+      run_testbed(Simulator::Engine::kReference, GetParam());
+
+  // Same execution, event for event.
+  EXPECT_EQ(arena.digest, ref.digest);
+  EXPECT_EQ(arena.processed, ref.processed);
+  EXPECT_GT(arena.processed, 10'000u);  // a real run, not a degenerate one
+
+  // Same end-of-run flowsim metrics, bit for bit (identical execution means
+  // identical arithmetic — no tolerance needed).
+  EXPECT_EQ(arena.throughput_mbps, ref.throughput_mbps);
+  EXPECT_GT(arena.throughput_mbps, 0.0);
+  ASSERT_EQ(arena.ampdu_means.size(), ref.ampdu_means.size());
+  for (std::size_t i = 0; i < arena.ampdu_means.size(); ++i)
+    EXPECT_EQ(arena.ampdu_means[i], ref.ampdu_means[i]) << "client " << i;
+
+  // Same FastACK behavior.
+  EXPECT_EQ(arena.fast_acks, ref.fast_acks);
+  EXPECT_GT(arena.fast_acks, 0u);
+  EXPECT_EQ(arena.local_retransmits, ref.local_retransmits);
+  EXPECT_EQ(arena.cache_evictions, ref.cache_evictions);
+  EXPECT_EQ(arena.acks_suppressed, ref.acks_suppressed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineGoldenTestbed,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace w11
