@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_main.hpp"
+
 #include "core/fastack/agent.hpp"
 #include "net/tcp_receiver.hpp"
 #include "scenario/testbed.hpp"
@@ -224,23 +226,8 @@ BENCHMARK(BM_TestbedFastAckReference)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace w11
 
-// BENCHMARK_MAIN, plus a default JSON report (BENCH_flowsim.json) so the
-// engine speedup numbers land on disk on every plain run.
+// Shared benchmark main with a default JSON report so the engine speedup
+// numbers land on disk on every plain run.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_flowsim.json";
-  std::string fmt_flag = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]).starts_with("--benchmark_out=")) has_out = true;
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(fmt_flag.data());
-  }
-  int n = static_cast<int>(args.size());
-  benchmark::Initialize(&n, args.data());
-  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return w11::bench::run_benchmark_main(argc, argv, "BENCH_flowsim.json");
 }

@@ -1,0 +1,52 @@
+#pragma once
+// Shared google-benchmark main for the perf benches (bench_flowsim,
+// bench_micro_perf). Separate from bench_util.hpp because including
+// <benchmark/benchmark.h> drags in a static initializer that every
+// includer must link against — the figure benches don't use the library.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "obs/gate.hpp"
+
+#if W11_OBS
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#endif
+
+namespace w11::bench {
+
+// BENCHMARK_MAIN() semantics plus a default JSON report
+// (--benchmark_out=<default_out>) when the caller did not pass its own, so
+// the recorded numbers land on disk on every plain run. With W11_TRACE set,
+// the obs tracer/metrics run for the process and the trace/metrics
+// artifacts export on exit (same writers the testbed uses).
+inline int run_benchmark_main(int argc, char** argv, const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = std::string("--benchmark_out=") + default_out;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).starts_with("--benchmark_out=")) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+#if W11_OBS
+  const bool tracing = obs::enable_from_env();
+#endif
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+#if W11_OBS
+  if (tracing)
+    obs::export_global(obs::trace_out_path("w11_bench_trace.json"));
+#endif
+  return 0;
+}
+
+}  // namespace w11::bench

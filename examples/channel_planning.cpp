@@ -10,6 +10,7 @@
 
 #include "common/table_printer.hpp"
 #include "core/turboca/service.hpp"
+#include "obs/audit.hpp"
 #include "workload/topology.hpp"
 
 using namespace w11;
@@ -62,12 +63,20 @@ int main(int argc, char** argv) {
     report("after ReservedCA (fixed 40MHz, isolated per-AP)", *net);
   }
 
-  // TurboCA: NetP-driven randomized sweeps, full i=2,1,0 schedule.
+  // TurboCA: NetP-driven randomized sweeps, full i=2,1,0 schedule. The
+  // attached audit records every ACC pick's NodeP term breakdown; the
+  // decision table below explains each committed channel switch by the
+  // per-width airtime/quality/penalty movement behind it (DESIGN.md §12).
   turboca::TurboCaService turbo({}, {}, hooks, Rng(8));
+  obs::PlanAudit audit;
+  turbo.engine().set_audit(&audit);
   turbo.run_now({2, 1, 0});
   report("after TurboCA (channel-bonding aware, NetP-optimized)", *net);
   std::cout << "  TurboCA NetP(log) = " << turbo.stats().last_netp_log
             << ", plans applied = " << turbo.stats().plans_applied << "\n";
+
+  std::cout << "\n--- planner decision audit (switches only) ---\n";
+  audit.write_table(std::cout, /*switches_only=*/true);
 
   // Radar! Any AP sitting on a DFS channel must vacate to its fallback.
   for (const auto& ap : net->aps()) {

@@ -1,0 +1,113 @@
+#pragma once
+// Minimal streaming JSON writer shared by every artifact emitter in the
+// tree: the observability exporters (Chrome trace / JSONL / metrics dumps,
+// src/obs/export.*), the planner audit dump, and the bench harness.
+//
+// Output is byte-deterministic: keys are emitted in call order, integers
+// are emitted as integers, and doubles go through a fixed "%.*g" format so
+// the same value always serializes to the same bytes — the trace golden
+// tests (tests/test_obs.cpp) diff whole files for equality.
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace w11::json {
+
+// Escape per RFC 8259 minimal rules (quote, backslash, control chars).
+inline void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Structured writer: begin_object/begin_array push a scope, key() names the
+// next value inside an object, value() emits scalars. Commas and nesting
+// are handled by the scope stack.
+class Writer {
+ public:
+  explicit Writer(std::ostream& os, int double_digits = 17)
+      : os_(os), digits_(double_digits) {}
+
+  Writer& begin_object() { open('{'); return *this; }
+  Writer& end_object() { close('}'); return *this; }
+  Writer& begin_array() { open('['); return *this; }
+  Writer& end_array() { close(']'); return *this; }
+
+  Writer& key(std::string_view k) {
+    comma();
+    write_escaped(os_, k);
+    os_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  Writer& value(std::string_view v) { comma(); write_escaped(os_, v); return *this; }
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(bool v) { comma(); os_ << (v ? "true" : "false"); return *this; }
+  Writer& value(std::int64_t v) { comma(); os_ << v; return *this; }
+  Writer& value(std::uint64_t v) { comma(); os_ << v; return *this; }
+  Writer& value(std::int32_t v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(std::uint32_t v) { return value(static_cast<std::uint64_t>(v)); }
+  Writer& value(double v) {
+    comma();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.*g", digits_, v);
+    os_ << buf;
+    return *this;
+  }
+
+  // key/value in one call, for flat records.
+  template <typename T>
+  Writer& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void open(char c) {
+    comma();
+    os_ << c;
+    scopes_.push_back(false);
+  }
+  void close(char c) {
+    scopes_.pop_back();
+    os_ << c;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value follows its key, no comma
+      return;
+    }
+    if (!scopes_.empty()) {
+      if (scopes_.back()) os_ << ',';
+      scopes_.back() = true;
+    }
+  }
+
+  std::ostream& os_;
+  int digits_;
+  std::vector<bool> scopes_;  // per scope: "an element was emitted"
+  bool pending_value_ = false;
+};
+
+}  // namespace w11::json

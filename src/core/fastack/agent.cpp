@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/gate.hpp"
 
 namespace w11::fastack {
 
@@ -41,6 +42,9 @@ void FastAckAgent::activate_bypass(FlowId flow, FlowState& s) {
   s.holes_vec.clear();
   ++stats_.bypass_activations;
   trace(flow, TraceEvent::kBypassActivated, s.seq_fack, s.seq_exp);
+  W11_TRACE_EVENT_AT(sim_.now(), ::w11::obs::TraceKind::kFastAckBypass,
+                     sim_.processed_events(), s.seq_fack, s.seq_exp);
+  W11_COUNT("fastack.bypass_activations");
 }
 
 bool FastAckAgent::validate(FlowId flow, FlowState& s) {
@@ -118,6 +122,10 @@ TcpInterceptor::DataAction FastAckAgent::on_downlink_data(TcpSegment& seg) {
         dup.sent_at = sim_.now();
         ++stats_.hole_dupacks_sent;
         trace(seg.flow, TraceEvent::kHoleDupAck, s.seq_fack);
+        W11_TRACE_EVENT_AT(sim_.now(),
+                           ::w11::obs::TraceKind::kFastAckHoleDupAck,
+                           sim_.processed_events(), s.seq_fack, seq_in);
+        W11_COUNT("fastack.hole_dupacks");
         ap_.send_to_wire(std::move(dup));
       }
     }
@@ -238,6 +246,9 @@ bool FastAckAgent::on_uplink_ack(const TcpSegment& ack) {
   }
   ++stats_.client_acks_suppressed;
   trace(ack.flow, TraceEvent::kClientAckSuppressed, ack.ack);
+  W11_TRACE_EVENT_AT(sim_.now(), ::w11::obs::TraceKind::kFastAckSuppress,
+                     sim_.processed_events(), ack.ack, ack.rwnd);
+  W11_COUNT("fastack.acks_suppressed");
   return true;
 }
 
@@ -284,7 +295,13 @@ void FastAckAgent::local_retransmit(FlowId flow, FlowState& s,
     trace(flow, TraceEvent::kLocalRetransmit, copy.seq, copy.payload);
     ap_.inject_downlink(std::move(copy), /*priority=*/true);
   }
-  if (injected > 0) s.local_retx_at = sim_.now();
+  if (injected > 0) {
+    s.local_retx_at = sim_.now();
+    W11_TRACE_EVENT_AT(sim_.now(), ::w11::obs::TraceKind::kFastAckCacheServe,
+                       sim_.processed_events(), from_seq,
+                       static_cast<std::uint64_t>(injected));
+    W11_COUNT_N("fastack.cache_served_segments", injected);
+  }
 }
 
 std::uint64_t FastAckAgent::advertised_window(const FlowState& s) const {
@@ -306,9 +323,16 @@ void FastAckAgent::emit_fast_ack(FlowId flow, FlowState& s,
   if (window_update_only) {
     ++stats_.window_updates_sent;
     trace(flow, TraceEvent::kWindowUpdate, ack.ack, ack.rwnd);
+    W11_TRACE_EVENT_AT(sim_.now(),
+                       ::w11::obs::TraceKind::kFastAckWindowUpdate,
+                       sim_.processed_events(), ack.ack, ack.rwnd);
+    W11_COUNT("fastack.window_updates");
   } else {
     ++stats_.fast_acks_sent;
     trace(flow, TraceEvent::kFastAck, ack.ack, ack.rwnd);
+    W11_TRACE_EVENT_AT(sim_.now(), ::w11::obs::TraceKind::kFastAckSynth,
+                       sim_.processed_events(), ack.ack, ack.rwnd);
+    W11_COUNT("fastack.acks_synthesized");
   }
   ap_.send_to_wire(std::move(ack));
 }

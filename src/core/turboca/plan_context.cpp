@@ -83,9 +83,40 @@ double PlanContext::node_p_log(std::size_t i, const Channel& c,
   return log_p;
 }
 
+double PlanContext::node_p_log_terms(std::size_t i, const Channel& c,
+                                     std::vector<obs::NodePTerm>* out) const {
+  // Mirrors node_p_log exactly (same loop, same floor) and additionally
+  // captures the per-width breakdown; keep the two in lockstep.
+  const int c_ord = channels::ordinal(c);
+  const double total_load = index_->total_load(i);
+  double log_p = 0.0;
+  const int cw = static_cast<int>(c.width);
+  for (int b = 0; b <= cw; ++b) {
+    double load = index_->load_at(i, static_cast<ChannelWidth>(b), c.width);
+    if (total_load <= 0.0) load = params_.empty_ap_load;
+    if (load <= 0.0) continue;
+    obs::NodePTerm term;
+    const double metric = channel_metric(i, c, c_ord,
+                                         static_cast<ChannelWidth>(b), nullptr,
+                                         nullptr, &term);
+    const double log_term =
+        load * (metric > 1e-12 ? std::log(metric) : kNodePLogFloor);
+    log_p += log_term;
+    if (out != nullptr) {
+      term.width_mhz = width_mhz(static_cast<ChannelWidth>(b));
+      term.load = load;
+      term.metric = metric;
+      term.log_term = log_term;
+      out->push_back(term);
+    }
+  }
+  return log_p;
+}
+
 double PlanContext::channel_metric(std::size_t i, const Channel& c, int c_ord,
                                    ChannelWidth b, const PsiSet* psi,
-                                   const TrialMove* trial) const {
+                                   const TrialMove* trial,
+                                   obs::NodePTerm* detail) const {
   const flowsim::ScanIndex& index = *index_;
   const ApScan& a = index.scan(i);
 
@@ -130,6 +161,13 @@ double PlanContext::channel_metric(std::size_t i, const Channel& c, int c_ord,
     if (a.utilization_current > params_.high_util_threshold)
       penalty = std::max(penalty, params_.switch_penalty_high_util);
     if (!a.has_clients) penalty = 0.0;  // nothing to disrupt
+  }
+
+  if (detail != nullptr) {
+    detail->airtime = airtime;
+    detail->quality = st.quality;
+    detail->penalty = penalty;
+    detail->contenders = contenders;
   }
 
   // capacity(c,b) scales with bandwidth (achievable rate ∝ width); keeping

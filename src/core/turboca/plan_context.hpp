@@ -24,6 +24,7 @@
 
 #include "core/turboca/turboca.hpp"
 #include "flowsim/scan_index.hpp"
+#include "obs/audit.hpp"
 
 namespace w11::turboca {
 
@@ -88,6 +89,12 @@ class PlanContext {
                                   const PsiSet* psi = nullptr,
                                   const TrialMove* trial = nullptr) const;
 
+  // node_p_log with the §4.4 per-width term breakdown appended to `out`
+  // (when non-null). Arithmetic is identical to node_p_log — the audit
+  // (DESIGN.md §12) sees exactly the numbers the optimizer used.
+  [[nodiscard]] double node_p_log_terms(std::size_t i, const Channel& c,
+                                        std::vector<obs::NodePTerm>* out) const;
+
   void begin_round();
   void commit_round();
   void rollback_round();
@@ -100,7 +107,8 @@ class PlanContext {
   [[nodiscard]] double channel_metric(std::size_t i, const Channel& c,
                                       int c_ord, ChannelWidth b,
                                       const PsiSet* psi,
-                                      const TrialMove* trial) const;
+                                      const TrialMove* trial,
+                                      obs::NodePTerm* detail = nullptr) const;
   void mark_dirty(std::size_t i);
 
   const flowsim::ScanIndex* index_;

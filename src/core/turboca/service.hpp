@@ -68,6 +68,11 @@ class TurboCaService {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  // The underlying optimizer — exposed so callers can attach observability
+  // sinks (obs::PlanAudit via set_audit) or a TaskPool to the engine the
+  // service fires.
+  [[nodiscard]] TurboCA& engine() { return engine_; }
+
  private:
   TurboCA engine_;
   Schedule schedule_;

@@ -9,6 +9,8 @@
 #include "common/check.hpp"
 #include "core/turboca/plan_context.hpp"
 #include "core/turboca/reference.hpp"
+#include "obs/audit.hpp"
+#include "obs/gate.hpp"
 
 namespace w11::turboca {
 
@@ -175,7 +177,10 @@ void TurboCA::nbo_sweep(PlanContext& ctx, int hop_limit) {
         for (std::size_t u = t; u < group_until; ++u) psi.insert(order[u]);
       }
       psi.erase(order[t]);
-      ctx.set(order[t], acc(ctx, order[t], psi));
+      const Channel from = ctx.channel_of(order[t]);
+      const Channel to = acc(ctx, order[t], psi);
+      ctx.set(order[t], to);
+      note_pick(ctx, order[t], t, from, to);
     }
     sweep_stats_.picks += order.size();
     sweep_stats_.batches += order.size();
@@ -228,15 +233,51 @@ void TurboCA::nbo_sweep(PlanContext& ctx, int hop_limit) {
     });
 
     for (std::size_t p = t; p < bend; ++p) {
+      const Channel from = ctx.channel_of(order[p]);
       ctx.set(order[p], results[p]);
+      note_pick(ctx, order[p], p, from, results[p]);
       write_mark[order[p]] = 0;
     }
+    W11_TRACE_EVENT(::w11::obs::TraceKind::kNboBatch, sweep_stats_.batches,
+                    bend - t, 0);
     ++sweep_stats_.batches;
     sweep_stats_.max_batch =
         std::max<std::uint64_t>(sweep_stats_.max_batch, bend - t);
     t = bend;
   }
   sweep_stats_.picks += order.size();
+}
+
+void TurboCA::note_pick(const PlanContext& ctx, std::uint32_t ap,
+                        std::size_t pick_pos, const Channel& from,
+                        const Channel& to) {
+  const bool switched = !(from == to);
+  ++round_picks_;
+  if (switched) ++round_switches_;
+  // Ordinal: cumulative pick count (sweep_stats_.picks is bumped after the
+  // sweep, so adding the in-sweep position keeps it strictly increasing).
+  W11_TRACE_EVENT(::w11::obs::TraceKind::kNboPick,
+                  sweep_stats_.picks + pick_pos, ap, switched ? 1 : 0);
+  if (audit_ == nullptr) return;
+  // Read-only re-evaluation at the serial commit point: both executors
+  // reach here with the identical post-commit context, so the recorded
+  // numbers are the same at any worker count.
+  obs::PickRecord r;
+  r.round = audit_round_;
+  r.pick = static_cast<std::uint32_t>(pick_pos);
+  r.ap_index = ap;
+  r.ap_id = ctx.index().scan(ap).id.value();
+  r.from = from.to_string();
+  r.to = to.to_string();
+  r.switched = switched;
+  r.node_p_to = ctx.node_p_log_terms(ap, to, &r.terms_to);
+  if (switched) {
+    r.node_p_from = ctx.node_p_log_terms(ap, from, &r.terms_from);
+  } else {
+    r.node_p_from = r.node_p_to;
+    r.terms_from = r.terms_to;
+  }
+  audit_->add_pick(std::move(r));
 }
 
 ChannelPlan TurboCA::nbo(const flowsim::ScanIndex& index,
@@ -262,15 +303,34 @@ TurboCA::RunResult TurboCA::run(const flowsim::ScanIndex& index,
     // §4.4.4: whenever a round improves NetP, the proposal becomes the
     // baseline for following rounds; otherwise it is rolled back in place
     // (only the channels the sweep touched are restored and rescored).
+    audit_round_ = static_cast<std::uint32_t>(r);
+    round_picks_ = 0;
+    round_switches_ = 0;
+    const double netp_before = result.netp_log;
     ctx.begin_round();
     nbo_sweep(ctx, hop_limit);
     const double netp = ctx.net_p_log();
-    if (netp > result.netp_log + 1e-9) {
+    const bool accepted = netp > result.netp_log + 1e-9;
+    if (accepted) {
       ctx.commit_round();
       result.netp_log = netp;
       result.improved = true;
     } else {
       ctx.rollback_round();
+    }
+    W11_TRACE_EVENT(::w11::obs::TraceKind::kNboRound,
+                    static_cast<std::uint64_t>(r), round_picks_,
+                    accepted ? 1 : 0);
+    if (audit_ != nullptr) {
+      obs::RoundRecord rr;
+      rr.round = static_cast<std::uint32_t>(r);
+      rr.hop_limit = hop_limit;
+      rr.netp_before = netp_before;
+      rr.netp_after = netp;
+      rr.accepted = accepted;
+      rr.picks = round_picks_;
+      rr.switches = round_switches_;
+      audit_->add_round(rr);
     }
   }
   if (result.improved) result.plan = ctx.snapshot();

@@ -38,6 +38,10 @@
 #include "flowsim/scan_index.hpp"
 #include "phy/channel.hpp"
 
+namespace w11::obs {
+class PlanAudit;
+}
+
 namespace w11::turboca {
 
 class PlanContext;
@@ -95,6 +99,14 @@ class TurboCA {
   void set_pool(exec::TaskPool* pool) { pool_ = pool; }
   [[nodiscard]] const SweepStats& sweep_stats() const { return sweep_stats_; }
 
+  // Decision audit sink (DESIGN.md §12): when attached, every committed ACC
+  // pick records its NodeP term breakdown (chosen vs. incumbent channel) and
+  // every NBO round its NetP before/after. Recording is read-only — it
+  // re-evaluates already-decided channels at serial commit points, draws no
+  // RNG, and the resulting plans are bit-identical with or without it.
+  void set_audit(obs::PlanAudit* audit) { audit_ = audit; }
+  [[nodiscard]] obs::PlanAudit* audit() const { return audit_; }
+
   // ---- indexed API (the production path) --------------------------------
   // Callers build one flowsim::ScanIndex per scan epoch (with this
   // engine's neighbor_rssi_floor) and share it across calls.
@@ -148,6 +160,12 @@ class TurboCA {
   // One NBO sweep applied to `ctx` in place.
   void nbo_sweep(PlanContext& ctx, int hop_limit);
 
+  // Per-commit bookkeeping (trace event, switch counting, audit record).
+  // Called at the serial commit point of both sweep executors, after
+  // ctx.set(); `from` is the channel the AP held before the pick.
+  void note_pick(const PlanContext& ctx, std::uint32_t ap,
+                 std::size_t pick_pos, const Channel& from, const Channel& to);
+
   // Algorithm 1's control flow without the ACC calls: draws the exact RNG
   // sequence of the reference sweep and emits the drain schedule.
   // order[t] is the t-th AP to pick a channel; group_end[t] is the end
@@ -165,6 +183,10 @@ class TurboCA {
   mutable Rng rng_;
   exec::TaskPool* pool_ = nullptr;
   SweepStats sweep_stats_;
+  obs::PlanAudit* audit_ = nullptr;
+  std::uint32_t audit_round_ = 0;   // NBO round within the current run()
+  std::uint32_t round_picks_ = 0;   // picks committed in the current round
+  std::uint32_t round_switches_ = 0;
 };
 
 // Hop-limited neighborhood over the scan graph: ids within `hops` of `from`

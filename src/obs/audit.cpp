@@ -1,0 +1,135 @@
+#include "obs/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/json_writer.hpp"
+
+namespace w11::obs {
+
+namespace {
+
+// The width level whose log-term moved the most between the incumbent and
+// chosen breakdowns — the term that "paid for" the switch.
+struct DominantDelta {
+  int width_mhz = 0;
+  double delta = 0.0;
+  double d_airtime = 0.0;
+  double d_penalty = 0.0;
+  int d_contenders = 0;
+};
+
+DominantDelta dominant_delta(const PickRecord& p) {
+  DominantDelta best;
+  double best_abs = -1.0;
+  for (const NodePTerm& to : p.terms_to) {
+    const auto from_it =
+        std::find_if(p.terms_from.begin(), p.terms_from.end(),
+                     [&](const NodePTerm& f) { return f.width_mhz == to.width_mhz; });
+    const double from_log =
+        from_it != p.terms_from.end() ? from_it->log_term : 0.0;
+    const double d = to.log_term - from_log;
+    if (std::abs(d) > best_abs) {
+      best_abs = std::abs(d);
+      best.width_mhz = to.width_mhz;
+      best.delta = d;
+      if (from_it != p.terms_from.end()) {
+        best.d_airtime = to.airtime - from_it->airtime;
+        best.d_penalty = to.penalty - from_it->penalty;
+        best.d_contenders = to.contenders - from_it->contenders;
+      } else {
+        best.d_airtime = to.airtime;
+        best.d_penalty = to.penalty;
+        best.d_contenders = to.contenders;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void PlanAudit::write_table(std::ostream& os, bool switches_only) const {
+  os << "planner decision audit: " << rounds_.size() << " rounds, "
+     << picks_.size() << " picks recorded";
+  if (dropped_picks_ > 0) os << " (+" << dropped_picks_ << " past cap)";
+  os << "\n";
+  for (const RoundRecord& r : rounds_) {
+    os << "  round " << r.round << " (hops=" << r.hop_limit << "): NetP(log) "
+       << std::setprecision(6) << r.netp_before << " -> " << r.netp_after
+       << (r.accepted ? "  ACCEPTED" : "  rolled back") << ", "
+       << r.switches << "/" << r.picks << " picks switched\n";
+  }
+  os << std::left << std::setw(6) << "round" << std::setw(6) << "pick"
+     << std::setw(8) << "ap" << std::setw(18) << "from" << std::setw(18)
+     << "to" << std::setw(12) << "dNodeP" << "dominant term\n";
+  for (const PickRecord& p : picks_) {
+    if (switches_only && !p.switched) continue;
+    const DominantDelta d = dominant_delta(p);
+    os << std::left << std::setw(6) << p.round << std::setw(6) << p.pick
+       << std::setw(8) << p.ap_id << std::setw(18) << p.from << std::setw(18)
+       << p.to << std::setw(12) << std::setprecision(4)
+       << (p.node_p_to - p.node_p_from) << "b=" << d.width_mhz
+       << "MHz dlog=" << std::setprecision(4) << d.delta
+       << " (dairtime=" << d.d_airtime << ", dpenalty=" << d.d_penalty
+       << ", dcontenders=" << d.d_contenders << ")\n";
+  }
+}
+
+void PlanAudit::write_jsonl(std::ostream& os) const {
+  auto write_terms = [](json::Writer& w, const std::vector<NodePTerm>& terms) {
+    w.begin_array();
+    for (const NodePTerm& t : terms) {
+      w.begin_object()
+          .field("width_mhz", t.width_mhz)
+          .field("load", t.load)
+          .field("airtime", t.airtime)
+          .field("quality", t.quality)
+          .field("penalty", t.penalty)
+          .field("contenders", t.contenders)
+          .field("metric", t.metric)
+          .field("log_term", t.log_term)
+          .end_object();
+    }
+    w.end_array();
+  };
+
+  for (const RoundRecord& r : rounds_) {
+    json::Writer w(os);
+    w.begin_object()
+        .field("type", "round")
+        .field("round", r.round)
+        .field("hop_limit", r.hop_limit)
+        .field("netp_before", r.netp_before)
+        .field("netp_after", r.netp_after)
+        .field("accepted", r.accepted)
+        .field("picks", r.picks)
+        .field("switches", r.switches)
+        .end_object();
+    os << "\n";
+  }
+  for (const PickRecord& p : picks_) {
+    json::Writer w(os);
+    w.begin_object()
+        .field("type", "pick")
+        .field("round", p.round)
+        .field("pick", p.pick)
+        .field("ap_index", p.ap_index)
+        .field("ap_id", p.ap_id)
+        .field("from", p.from)
+        .field("to", p.to)
+        .field("switched", p.switched)
+        .field("node_p_to", p.node_p_to)
+        .field("node_p_from", p.node_p_from);
+    w.key("terms_to");
+    write_terms(w, p.terms_to);
+    w.key("terms_from");
+    write_terms(w, p.terms_from);
+    w.end_object();
+    os << "\n";
+  }
+}
+
+}  // namespace w11::obs

@@ -1,0 +1,94 @@
+#pragma once
+// Observability gating (DESIGN.md §12).
+//
+// Two gates stack:
+//
+//   * Compile-time: the W11_OBS preprocessor flag (CMake option of the same
+//     name, default ON). With -DW11_OBS=0 every instrumentation macro below
+//     expands to nothing and the instrumented subsystems carry zero
+//     observability code — the stance for a minimal embedded build.
+//   * Runtime: with W11_OBS compiled in, recording still costs one relaxed
+//     bool load per site until TraceRecorder/MetricsRegistry are enabled
+//     (by tests, by the W11_TRACE environment variable, or explicitly).
+//     bench_flowsim medians with instrumentation compiled in but disabled
+//     must stay within noise of the uninstrumented build.
+//
+// The macros exist so call sites read as one line and so the W11_OBS=0
+// expansion can drop their arguments entirely (including any function-local
+// static metric handles, which otherwise still cost a guard check).
+
+#ifndef W11_OBS
+#define W11_OBS 1
+#endif
+
+#if W11_OBS
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// Record one instant event on the process tracer (timestamp from the bound
+// clock, Time{0} when none is bound).
+#define W11_TRACE_EVENT(kind, ord, a, b)                        \
+  do {                                                          \
+    ::w11::obs::TraceRecorder& w11_tr = ::w11::obs::tracer();   \
+    if (w11_tr.enabled()) w11_tr.record((kind), (ord), (a), (b)); \
+  } while (0)
+
+// Record one instant event with an explicit sim-time stamp.
+#define W11_TRACE_EVENT_AT(ts, kind, ord, a, b)                 \
+  do {                                                          \
+    ::w11::obs::TraceRecorder& w11_tr = ::w11::obs::tracer();   \
+    if (w11_tr.enabled())                                       \
+      w11_tr.record_at((ts), (kind), (ord), (a), (b));          \
+  } while (0)
+
+// Record a closed [begin, end] sim-time span.
+#define W11_TRACE_SPAN_AT(begin, end, kind, ord, a, b)          \
+  do {                                                          \
+    ::w11::obs::TraceRecorder& w11_tr = ::w11::obs::tracer();   \
+    if (w11_tr.enabled())                                       \
+      w11_tr.record_span((begin), (end), (kind), (ord), (a), (b)); \
+  } while (0)
+
+// RAII span on the process tracer: opens at the bound clock's current time,
+// closes (and records) when `var` leaves scope.
+#define W11_SCOPED_SPAN(var, kind, ord) \
+  ::w11::obs::ScopedSpan var = ::w11::obs::tracer().span((kind), (ord))
+
+// Bump a named counter on the process metrics registry. The handle is
+// resolved once per site (function-local static) on the first *enabled*
+// hit; a disabled registry costs one bool load.
+#define W11_COUNT_N(name_literal, n)                                     \
+  do {                                                                   \
+    ::w11::obs::MetricsRegistry& w11_mr = ::w11::obs::metrics();         \
+    if (w11_mr.enabled()) {                                              \
+      static const ::w11::obs::Counter w11_c = w11_mr.counter(name_literal); \
+      w11_c.add(static_cast<std::uint64_t>(n));                          \
+    }                                                                    \
+  } while (0)
+#define W11_COUNT(name_literal) W11_COUNT_N(name_literal, 1)
+
+// Record one sample into a named fixed-bucket histogram. Buckets default to
+// the registry's power-of-two ladder; register the name explicitly first
+// for custom bounds.
+#define W11_HISTOGRAM(name_literal, v)                                   \
+  do {                                                                   \
+    ::w11::obs::MetricsRegistry& w11_mr = ::w11::obs::metrics();         \
+    if (w11_mr.enabled()) {                                              \
+      static const ::w11::obs::Histogram w11_h =                         \
+          w11_mr.histogram(name_literal);                                \
+      w11_h.observe(static_cast<double>(v));                             \
+    }                                                                    \
+  } while (0)
+
+#else  // W11_OBS == 0: every macro vanishes, arguments unevaluated.
+
+#define W11_TRACE_EVENT(kind, ord, a, b) ((void)0)
+#define W11_TRACE_EVENT_AT(ts, kind, ord, a, b) ((void)0)
+#define W11_TRACE_SPAN_AT(begin, end, kind, ord, a, b) ((void)0)
+#define W11_SCOPED_SPAN(var, kind, ord) ((void)0)
+#define W11_COUNT_N(name_literal, n) ((void)0)
+#define W11_COUNT(name_literal) ((void)0)
+#define W11_HISTOGRAM(name_literal, v) ((void)0)
+
+#endif  // W11_OBS

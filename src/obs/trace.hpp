@@ -1,0 +1,288 @@
+#pragma once
+// Structured trace recorder (DESIGN.md §12): bounded per-lane ring buffers
+// of typed events stamped with *simulated* virtual time.
+//
+// Determinism is the design constraint, inherited from the exec layer
+// (DESIGN.md §10): a trace taken at any worker count must export to the
+// same bytes. Three rules make that hold:
+//
+//   * Timestamps are sim virtual time (or a caller-supplied logical time),
+//     never wall clock.
+//   * Every event carries a caller-supplied deterministic ordinal `ord`
+//     (the simulator's event sequence number, a planner pick position, a
+//     parallel_for index) that orders events sharing a timestamp. merged()
+//     stable-sorts on (ts, ord, kind, a, b), so export order never depends
+//     on which lane's ring an event landed in.
+//   * Lanes are per-*thread* rings (registered on first record, appended
+//     lock-free by their owner), so recording from TaskPool tasks is safe;
+//     ring identity deliberately does not appear in the sort key.
+//
+// Rings are bounded: overflow evicts the oldest event in that ring and
+// counts it (dropped()), never blocks, never allocates past capacity.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace w11::obs {
+
+// Every instrumented site in the tree, grouped by category. New sites
+// append to their category block; the exporter maps categories to Perfetto
+// tracks.
+enum class TraceKind : std::uint16_t {
+  // sim
+  kSimEvent,        // one dispatched simulator event; ord = event seq
+  // mac
+  kAmpduTx,         // A-MPDU formation + airtime; a = MPDU bundles, b = batch frames
+  // fastack
+  kFastAckSynth,    // synthesized cumulative ACK; a = ack seq, b = rwnd
+  kFastAckWindowUpdate,
+  kFastAckSuppress, // client ACK suppressed; a = ack seq
+  kFastAckCacheServe,  // local retransmission burst; a = from seq, b = segments
+  kFastAckHoleDupAck,  // emulated dup-ACK for an upstream hole
+  kFastAckBypass,      // flow dropped to bypass
+  // planner
+  kNboRound,        // one NBO round; ord = round, a = picks, b = accepted
+  kNboBatch,        // one speculative commit batch; a = batch size
+  kNboPick,         // one committed ACC decision; a = AP index, b = switched
+  // telemetry
+  kCollectorPoll,   // one collector polling interval; a = rows, b = dropped
+};
+
+enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelemetry };
+
+[[nodiscard]] constexpr const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kSimEvent: return "sim.event";
+    case TraceKind::kAmpduTx: return "mac.ampdu_tx";
+    case TraceKind::kFastAckSynth: return "fastack.synth";
+    case TraceKind::kFastAckWindowUpdate: return "fastack.window_update";
+    case TraceKind::kFastAckSuppress: return "fastack.suppress";
+    case TraceKind::kFastAckCacheServe: return "fastack.cache_serve";
+    case TraceKind::kFastAckHoleDupAck: return "fastack.hole_dupack";
+    case TraceKind::kFastAckBypass: return "fastack.bypass";
+    case TraceKind::kNboRound: return "planner.nbo_round";
+    case TraceKind::kNboBatch: return "planner.nbo_batch";
+    case TraceKind::kNboPick: return "planner.nbo_pick";
+    case TraceKind::kCollectorPoll: return "telemetry.poll";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr TraceCategory category(TraceKind k) {
+  switch (k) {
+    case TraceKind::kSimEvent: return TraceCategory::kSim;
+    case TraceKind::kAmpduTx: return TraceCategory::kMac;
+    case TraceKind::kFastAckSynth:
+    case TraceKind::kFastAckWindowUpdate:
+    case TraceKind::kFastAckSuppress:
+    case TraceKind::kFastAckCacheServe:
+    case TraceKind::kFastAckHoleDupAck:
+    case TraceKind::kFastAckBypass: return TraceCategory::kFastAck;
+    case TraceKind::kNboRound:
+    case TraceKind::kNboBatch:
+    case TraceKind::kNboPick: return TraceCategory::kPlanner;
+    case TraceKind::kCollectorPoll: return TraceCategory::kTelemetry;
+  }
+  return TraceCategory::kSim;
+}
+
+[[nodiscard]] constexpr const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kSim: return "sim";
+    case TraceCategory::kMac: return "mac";
+    case TraceCategory::kFastAck: return "fastack";
+    case TraceCategory::kPlanner: return "planner";
+    case TraceCategory::kTelemetry: return "telemetry";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::uint32_t category_bit(TraceCategory c) {
+  return 1u << static_cast<unsigned>(c);
+}
+inline constexpr std::uint32_t kAllCategories = 0xffffffffu;
+
+struct TraceEvent {
+  std::int64_t ts_ns = 0;   // sim virtual time of the event (span begin)
+  std::int64_t dur_ns = 0;  // sim-time duration; 0 = instant
+  std::uint64_t ord = 0;    // deterministic tie-break ordinal
+  std::uint64_t a = 0;      // kind-specific payload
+  std::uint64_t b = 0;
+  TraceKind kind{};
+
+  friend constexpr bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+// One lane's bounded ring. Single-writer (the owning thread); snapshot is
+// taken at quiescent points only.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(const TraceEvent& e) {
+    if (events_.size() < capacity_) {
+      events_.push_back(e);
+    } else if (capacity_ > 0) {
+      events_[head_] = e;
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  // Events in record order (oldest first).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i)
+      out.push_back(events_[(head_ + i) % events_.size()]);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    events_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+class ScopedSpan;
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t per_lane_capacity = std::size_t{1} << 16);
+
+  // Runtime gate. Disabled recording is one bool load per site.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Restrict recording to a category bitmask (category_bit()); kSim's
+  // per-event firehose is the usual candidate for masking out.
+  void set_category_mask(std::uint32_t mask) { mask_ = mask; }
+  [[nodiscard]] std::uint32_t category_mask() const { return mask_; }
+
+  // Bind the sim-time source for record()/span() sites that do not pass an
+  // explicit timestamp (the pointee must outlive the binding; the Simulator
+  // binds &now_). Unbound sites stamp Time{0} and order by ord alone.
+  void bind_clock(const Time* clock) { clock_ = clock; }
+  [[nodiscard]] Time clock_now() const { return clock_ ? *clock_ : Time{}; }
+
+  void record(TraceKind kind, std::uint64_t ord, std::uint64_t a = 0,
+              std::uint64_t b = 0) {
+    record_at(clock_now(), kind, ord, a, b);
+  }
+  void record_at(Time ts, TraceKind kind, std::uint64_t ord,
+                 std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (!accepts(kind)) return;
+    local_ring().push(TraceEvent{ts.ns(), 0, ord, a, b, kind});
+  }
+  void record_span(Time begin, Time end, TraceKind kind, std::uint64_t ord,
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (!accepts(kind)) return;
+    local_ring().push(
+        TraceEvent{begin.ns(), (end - begin).ns(), ord, a, b, kind});
+  }
+
+  // RAII span: opens at the bound clock's now, records on destruction.
+  [[nodiscard]] ScopedSpan span(TraceKind kind, std::uint64_t ord,
+                                std::uint64_t a = 0);
+
+  // All lanes' events merged into one deterministic stream: stable sort on
+  // (ts, ord, kind, a, b). Call at quiescent points (no concurrent
+  // recording), e.g. after parallel_for returned.
+  [[nodiscard]] std::vector<TraceEvent> merged() const;
+
+  [[nodiscard]] std::size_t lanes() const;
+  [[nodiscard]] std::size_t total_events() const;
+  [[nodiscard]] std::uint64_t total_dropped() const;
+  void clear();
+
+ private:
+  [[nodiscard]] bool accepts(TraceKind kind) const {
+    return enabled_ && (mask_ & category_bit(category(kind))) != 0;
+  }
+  TraceRing& local_ring();
+
+  bool enabled_ = false;
+  std::uint32_t mask_ = kAllCategories;
+  const Time* clock_ = nullptr;
+  std::size_t per_lane_capacity_;
+  std::uint64_t id_;  // process-unique, keys the thread-local ring cache
+
+  mutable std::mutex lanes_mu_;  // guards ring registration, not recording
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+
+  friend class ScopedSpan;
+};
+
+// RAII helper: stamps the span's begin at construction, records it (with
+// duration up to the bound clock's now) at destruction. A span taken while
+// recording is disabled stays inert even if the recorder is enabled before
+// it closes — half-open spans would break byte-stable golden traces.
+class ScopedSpan {
+ public:
+  ScopedSpan(ScopedSpan&& o) noexcept
+      : rec_(o.rec_), begin_(o.begin_), kind_(o.kind_), ord_(o.ord_), a_(o.a_) {
+    o.rec_ = nullptr;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(ScopedSpan&&) = delete;
+
+  // Attach kind-specific payload discovered mid-span.
+  void set_args(std::uint64_t a, std::uint64_t b = 0) { a_ = a; b_ = b; }
+
+  ~ScopedSpan() {
+    if (rec_ != nullptr)
+      rec_->record_span(begin_, rec_->clock_now(), kind_, ord_, a_, b_);
+  }
+
+ private:
+  ScopedSpan(TraceRecorder* rec, TraceKind kind, std::uint64_t ord,
+             std::uint64_t a)
+      : rec_(rec), begin_(rec ? rec->clock_now() : Time{}), kind_(kind),
+        ord_(ord), a_(a) {}
+
+  TraceRecorder* rec_;  // nullptr = inert
+  Time begin_;
+  TraceKind kind_;
+  std::uint64_t ord_;
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+
+  friend class TraceRecorder;
+};
+
+inline ScopedSpan TraceRecorder::span(TraceKind kind, std::uint64_t ord,
+                                      std::uint64_t a) {
+  return ScopedSpan(accepts(kind) ? this : nullptr, kind, ord, a);
+}
+
+// The process-wide recorder the W11_TRACE_* macros target. Disabled until
+// something (a test, enable_from_env()) switches it on.
+[[nodiscard]] TraceRecorder& tracer();
+
+// W11_TRACE environment gate: W11_TRACE set to anything but "" / "0"
+// enables the process tracer and metrics registry. Returns whether tracing
+// is on. Idempotent; the Testbed and the bench harness both call it.
+bool enable_from_env();
+
+// Output path for the exported artifacts: $W11_TRACE_OUT if set, else
+// `default_path`.
+[[nodiscard]] const char* trace_out_path(const char* default_path);
+
+}  // namespace w11::obs

@@ -3,6 +3,12 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/gate.hpp"
+
+#if W11_OBS
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#endif
 
 namespace w11::scenario {
 
@@ -176,6 +182,13 @@ std::size_t Testbed::flow_index(int ap_idx, int client_idx) const {
 void Testbed::run() {
   W11_CHECK_MSG(!ran_, "Testbed::run may only be called once");
   ran_ = true;
+#if W11_OBS
+  // W11_TRACE=1 switches on the process tracer/metrics for this run and
+  // exports the Chrome-trace/JSONL/metrics artifacts when it finishes
+  // (W11_TRACE_OUT overrides the default output path).
+  const bool tracing = obs::enable_from_env();
+  if (tracing) sim_.set_tracer(&obs::tracer());
+#endif
   for (auto& fc : flows_)
     if (fc.sender) fc.sender->start();
 
@@ -186,6 +199,9 @@ void Testbed::run() {
     udp_bytes_at_warmup_.push_back(clients_[i]->udp_bytes_received());
   }
   sim_.run_until(cfg_.warmup + cfg_.duration);
+#if W11_OBS
+  if (tracing) obs::export_global(obs::trace_out_path("w11_trace.json"));
+#endif
 }
 
 double Testbed::aggregate_throughput_mbps() const {

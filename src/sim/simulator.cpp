@@ -12,6 +12,10 @@ Simulator::Simulator(Engine engine) : engine_(engine) {
 }
 
 Simulator::~Simulator() {
+#if W11_OBS
+  // Unbind the recorder's clock; it points at this simulator's now_.
+  if (tracer_ != nullptr) tracer_->bind_clock(nullptr);
+#endif
   // Retire still-queued reference-engine events so outstanding handles
   // report not-pending after the simulator dies — the same answer arena
   // handles get once the tag's arena pointer is nulled below.

@@ -33,8 +33,13 @@
 
 #include "common/check.hpp"
 #include "common/time.hpp"
+#include "obs/gate.hpp"
 #include "sim/event_arena.hpp"
 #include "sim/small_fn.hpp"
+
+#if W11_OBS
+#include "obs/trace.hpp"
+#endif
 
 namespace w11 {
 
@@ -93,6 +98,21 @@ class Simulator {
   }
   [[nodiscard]] std::uint64_t event_digest() const { return digest_; }
 
+  // --- structured tracing (DESIGN.md §12) --------------------------------
+  // Attach an obs recorder: every dispatched event records a kSimEvent
+  // stamped with its (sim time, seq), and the recorder's clock is bound to
+  // this simulator so sim-attached instrumentation sites (AP, FastACK)
+  // stamp sim virtual time. Detached (default) the hot loop pays one null
+  // check. Compiled out entirely under W11_OBS=0.
+#if W11_OBS
+  void set_tracer(obs::TraceRecorder* t) {
+    if (tracer_ != nullptr && t == nullptr) tracer_->bind_clock(nullptr);
+    tracer_ = t;
+    if (tracer_ != nullptr) tracer_->bind_clock(&now_);
+  }
+  [[nodiscard]] obs::TraceRecorder* tracer() const { return tracer_; }
+#endif
+
  private:
   struct RefEvent {
     Time at;
@@ -137,6 +157,10 @@ class Simulator {
 
   // kReference engine state.
   std::priority_queue<RefEvent, std::vector<RefEvent>, RefLater> ref_queue_;
+
+#if W11_OBS
+  obs::TraceRecorder* tracer_ = nullptr;
+#endif
 
   bool trace_on_ = false;
   std::size_t trace_capacity_ = 0;
@@ -268,6 +292,10 @@ inline void Simulator::pop_and_run_arena() {
   }
   ++processed_;
   note_processed(entry.at, entry.seq);
+#if W11_OBS
+  if (tracer_ != nullptr)
+    tracer_->record_at(entry.at, obs::TraceKind::kSimEvent, entry.seq);
+#endif
   // Run the callback in place: the slot is off the free list while it
   // executes and chunk addresses are stable, so the captures cannot move
   // or be overwritten even if the callback schedules new events. release()
@@ -289,6 +317,10 @@ inline void Simulator::pop_and_run_ref() {
   *ev.cancelled = true;
   ++processed_;
   note_processed(ev.at, ev.seq);
+#if W11_OBS
+  if (tracer_ != nullptr)
+    tracer_->record_at(ev.at, obs::TraceKind::kSimEvent, ev.seq);
+#endif
   ev.cb();
 }
 

@@ -3,6 +3,7 @@
 // LittleTable rows — the shape of the Meraki backend's polling loop (§2.2).
 
 #include "flowsim/network.hpp"
+#include "obs/gate.hpp"
 #include "telemetry/littletable.hpp"
 
 namespace w11::telemetry {
@@ -15,7 +16,8 @@ class NetworkCollector {
                                "bitrate_efficiency", "cochannel_interferers"}),
         net_stats_("network_stats",
                    {"total_throughput_mbps", "total_offered_mbps",
-                    "channel_switches"}) {}
+                    "channel_switches", "records_dropped",
+                    "records_written"}) {}
 
   // Drop the next `count` polling intervals on the floor (fault injection:
   // the collection pipeline loses samples; dashboards must tolerate gaps).
@@ -30,9 +32,14 @@ class NetworkCollector {
     if (drop_pending_ > 0) {
       --drop_pending_;
       ++records_dropped_;
+      W11_COUNT("telemetry.records_dropped");
+      W11_TRACE_EVENT_AT(at, ::w11::obs::TraceKind::kCollectorPoll,
+                         static_cast<std::uint64_t>(at.ns()), 0,
+                         records_dropped_);
       return false;
     }
     ++records_written_;
+    W11_COUNT("telemetry.records_written");
     // Batch the interval: build all AP rows, then one bulk append (one
     // reserve + one sortedness check instead of per-AP bookkeeping).
     std::vector<LittleTable::Row> batch;
@@ -47,7 +54,12 @@ class NetworkCollector {
     ap_stats_.append(std::move(batch));
     net_stats_.insert(0, at,
                       {ev.total_throughput_mbps, ev.total_offered_mbps,
-                       static_cast<double>(net.total_switches())});
+                       static_cast<double>(net.total_switches()),
+                       static_cast<double>(records_dropped_),
+                       static_cast<double>(records_written_)});
+    W11_TRACE_EVENT_AT(at, ::w11::obs::TraceKind::kCollectorPoll,
+                       static_cast<std::uint64_t>(at.ns()),
+                       ev.per_ap.size() + 1, records_dropped_);
     return true;
   }
 

@@ -75,15 +75,30 @@ std::vector<std::pair<Time, double>> LittleTable::aggregate(
   const std::size_t col = column_index(column);
   ensure_sorted();
 
+  const bool quantile_agg = agg == Agg::kP50 || agg == Agg::kP95;
+
   std::vector<std::pair<Time, double>> out;
   struct Acc {
     double sum = 0.0;
     double mn = std::numeric_limits<double>::infinity();
     double mx = -std::numeric_limits<double>::infinity();
     std::size_t n = 0;
+    std::vector<double> vals;  // only filled for quantile aggregates
   };
   Acc acc;
   Time bucket_start = from;
+
+  // Interpolated quantile over the bucket's values — the exact formula of
+  // common::Samples::quantile (pos = q·(n−1), linear between neighbors).
+  auto quantile_of = [](std::vector<double>& vals, double q) {
+    std::sort(vals.begin(), vals.end());
+    if (vals.size() == 1) return vals[0];
+    const double pos = q * static_cast<double>(vals.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, vals.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return vals[lo] * (1.0 - frac) + vals[hi] * frac;
+  };
 
   auto flush = [&] {
     if (acc.n == 0) return;
@@ -94,6 +109,8 @@ std::vector<std::pair<Time, double>> LittleTable::aggregate(
       case Agg::kMin: v = acc.mn; break;
       case Agg::kMax: v = acc.mx; break;
       case Agg::kCount: v = static_cast<double>(acc.n); break;
+      case Agg::kP50: v = quantile_of(acc.vals, 0.50); break;
+      case Agg::kP95: v = quantile_of(acc.vals, 0.95); break;
     }
     out.emplace_back(bucket_start, v);
     acc = Acc{};
@@ -112,6 +129,7 @@ std::vector<std::pair<Time, double>> LittleTable::aggregate(
     acc.mn = std::min(acc.mn, v);
     acc.mx = std::max(acc.mx, v);
     ++acc.n;
+    if (quantile_agg) acc.vals.push_back(v);
   }
   flush();
   return out;

@@ -25,7 +25,10 @@ class LittleTable {
     std::vector<double> values;
   };
 
-  enum class Agg { kSum, kMean, kMin, kMax, kCount };
+  // kP50/kP95 compute the bucket's interpolated quantile (same formula as
+  // common::Samples::quantile, so dashboard numbers and bench summaries
+  // agree); they buffer the bucket's values, unlike the streaming aggregates.
+  enum class Agg { kSum, kMean, kMin, kMax, kCount, kP50, kP95 };
 
   LittleTable(std::string name, std::vector<std::string> columns);
 

@@ -1,0 +1,510 @@
+// Observability layer (DESIGN.md §12): trace ring eviction, byte-stable
+// golden JSONL exports at any worker count, metrics merge semantics, the
+// telemetry bridge, and — the property everything else leans on — that
+// attaching tracing or the planner audit never perturbs execution.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/turboca/turboca.hpp"
+#include "exec/task_pool.hpp"
+#include "flowsim/scan_index.hpp"
+#include "obs/audit.hpp"
+#include "obs/export.hpp"
+#include "obs/gate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry_bridge.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/littletable.hpp"
+#include "workload/topology.hpp"
+
+namespace w11 {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::PlanAudit;
+using obs::ScopedSpan;
+using obs::TraceCategory;
+using obs::TraceEvent;
+using obs::TraceKind;
+using obs::TraceRecorder;
+using obs::TraceRing;
+
+// ---------------------------------------------------------------- TraceRing
+
+TEST(TraceRing, OverflowEvictsOldest) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 7; ++i)
+    ring.push(TraceEvent{static_cast<std::int64_t>(i), 0, i, 0, 0,
+                         TraceKind::kSimEvent});
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 3u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < snap.size(); ++i)
+    EXPECT_EQ(snap[i].ord, i + 3) << "survivors must be the newest, in order";
+}
+
+TEST(TraceRing, ZeroCapacityCountsEverythingAsDropped) {
+  TraceRing ring(0);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    ring.push(TraceEvent{0, 0, i, 0, 0, TraceKind::kSimEvent});
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 3u);
+}
+
+// ------------------------------------------------------------ TraceRecorder
+
+TEST(TraceRecorder, DisabledByDefaultRecordsNothing) {
+  TraceRecorder rec;
+  rec.record_at(time::micros(1), TraceKind::kSimEvent, 1);
+  EXPECT_EQ(rec.total_events(), 0u);
+  EXPECT_TRUE(rec.merged().empty());
+}
+
+TEST(TraceRecorder, CategoryMaskFilters) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.set_category_mask(obs::category_bit(TraceCategory::kPlanner));
+  rec.record_at(time::micros(1), TraceKind::kSimEvent, 1);
+  rec.record_at(time::micros(2), TraceKind::kNboPick, 2);
+  auto ev = rec.merged();
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].kind, TraceKind::kNboPick);
+
+  rec.set_category_mask(obs::kAllCategories);
+  rec.record_at(time::micros(3), TraceKind::kSimEvent, 3);
+  EXPECT_EQ(rec.merged().size(), 2u);
+}
+
+TEST(TraceRecorder, PerLaneOverflowAccounting) {
+  TraceRecorder rec(/*per_lane_capacity=*/8);
+  rec.set_enabled(true);
+  for (std::uint64_t i = 0; i < 20; ++i)
+    rec.record_at(time::micros(static_cast<std::int64_t>(i)),
+                  TraceKind::kSimEvent, i);
+  EXPECT_EQ(rec.total_events(), 8u);
+  EXPECT_EQ(rec.total_dropped(), 12u);
+  const auto ev = rec.merged();
+  ASSERT_EQ(ev.size(), 8u);
+  for (std::size_t i = 0; i < ev.size(); ++i) EXPECT_EQ(ev[i].ord, i + 12);
+
+  rec.clear();
+  EXPECT_EQ(rec.total_events(), 0u);
+  EXPECT_EQ(rec.total_dropped(), 0u);
+}
+
+TEST(TraceRecorder, ScopedSpanStampsBeginAndDuration) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  Time clock = time::micros(100);
+  rec.bind_clock(&clock);
+  {
+    ScopedSpan span = rec.span(TraceKind::kAmpduTx, 7, 3);
+    span.set_args(3, 12);
+    clock = time::micros(250);
+  }
+  rec.bind_clock(nullptr);
+  const auto ev = rec.merged();
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].ts_ns, time::micros(100).ns());
+  EXPECT_EQ(ev[0].dur_ns, time::micros(150).ns());
+  EXPECT_EQ(ev[0].ord, 7u);
+  EXPECT_EQ(ev[0].a, 3u);
+  EXPECT_EQ(ev[0].b, 12u);
+}
+
+TEST(TraceRecorder, SpanOpenedWhileDisabledStaysInert) {
+  TraceRecorder rec;
+  {
+    ScopedSpan span = rec.span(TraceKind::kAmpduTx, 1);
+    rec.set_enabled(true);  // enabling mid-span must not record a half-span
+  }
+  EXPECT_EQ(rec.total_events(), 0u);
+}
+
+// The golden determinism property (satellite of DESIGN.md §12): the same
+// logical workload recorded through a 1-worker and a 4-worker pool must
+// export byte-identical JSONL and Chrome traces, even though events land in
+// different per-thread rings.
+struct Exports {
+  std::string jsonl;
+  std::string chrome;
+};
+
+Exports record_synthetic_workload(int workers) {
+  TraceRecorder rec(std::size_t{1} << 12);
+  rec.set_enabled(true);
+  exec::TaskPool pool(workers);
+  pool.parallel_for(500, [&rec](std::size_t i, int) {
+    const auto u = static_cast<std::uint64_t>(i);
+    const Time ts = time::micros(static_cast<std::int64_t>((u * 31) % 97));
+    switch (i % 4) {
+      case 0: rec.record_at(ts, TraceKind::kSimEvent, u, u % 13); break;
+      case 1:
+        rec.record_span(ts, ts + time::micros(5), TraceKind::kAmpduTx, u,
+                        u % 7, u % 3);
+        break;
+      case 2: rec.record_at(ts, TraceKind::kNboPick, u, u % 11, u % 2); break;
+      default: rec.record_at(ts, TraceKind::kCollectorPoll, u, u % 5); break;
+    }
+  });
+  return Exports{obs::trace_jsonl_string(rec), obs::chrome_trace_string(rec)};
+}
+
+TEST(TraceRecorder, ExportBytesAreWorkerCountInvariant) {
+  const Exports serial = record_synthetic_workload(1);
+  const Exports threaded = record_synthetic_workload(4);
+  EXPECT_FALSE(serial.jsonl.empty());
+  EXPECT_EQ(serial.jsonl, threaded.jsonl);
+  EXPECT_EQ(serial.chrome, threaded.chrome);
+  // Spot-check the formats without a JSON parser: JSONL is one object per
+  // line; the Chrome export is a single traceEvents envelope.
+  EXPECT_EQ(serial.jsonl[0], '{');
+  EXPECT_NE(serial.jsonl.find("\"kind\":\"sim.event\""), std::string::npos);
+  EXPECT_NE(serial.chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(serial.chrome.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceRecorder, MergedOrdersByTimestampThenOrdinal) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.record_at(time::micros(5), TraceKind::kSimEvent, 9);
+  rec.record_at(time::micros(1), TraceKind::kSimEvent, 4);
+  rec.record_at(time::micros(1), TraceKind::kSimEvent, 2);
+  const auto ev = rec.merged();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_EQ(ev[0].ord, 2u);
+  EXPECT_EQ(ev[1].ord, 4u);
+  EXPECT_EQ(ev[2].ord, 9u);
+}
+
+// -------------------------------------------------------- Simulator tracing
+
+#if W11_OBS
+TEST(SimTracing, RecordsOneEventPerDispatchWithSimTimestamps) {
+  Simulator sim;
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  sim.set_tracer(&rec);
+  for (int i = 0; i < 10; ++i) sim.schedule_at(time::micros(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.processed_events(), 10u);
+  const auto ev = rec.merged();
+  ASSERT_EQ(ev.size(), 10u);
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_EQ(ev[i].kind, TraceKind::kSimEvent);
+    EXPECT_EQ(ev[i].ts_ns, time::micros(static_cast<std::int64_t>(i)).ns());
+    if (i > 0) {
+      EXPECT_LT(ev[i - 1].ord, ev[i].ord);
+    }
+  }
+  sim.set_tracer(nullptr);
+}
+
+TEST(SimTracing, AttachedTracerDoesNotPerturbExecution) {
+  auto run_workload = [](TraceRecorder* rec) {
+    Simulator sim;
+    if (rec != nullptr) sim.set_tracer(rec);
+    Rng rng(99);
+    // A self-rescheduling chain plus scattered one-shots: enough structure
+    // that any tracer-induced divergence would move the digest.
+    std::function<void(int)> chain = [&](int depth) {
+      if (depth == 0) return;
+      sim.schedule_after(time::micros(rng.uniform_int(1, 50)),
+                         [&chain, depth] { chain(depth - 1); });
+    };
+    chain(200);
+    for (int i = 0; i < 100; ++i)
+      sim.schedule_at(time::micros(rng.uniform_int(0, 5000)), [] {});
+    sim.run();
+    const auto digest = sim.event_digest();
+    if (rec != nullptr) sim.set_tracer(nullptr);
+    return std::pair(digest, sim.processed_events());
+  };
+
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  const auto bare = run_workload(nullptr);
+  const auto traced = run_workload(&rec);
+  EXPECT_EQ(bare.first, traced.first);
+  EXPECT_EQ(bare.second, traced.second);
+  EXPECT_EQ(rec.total_events() + rec.total_dropped(), traced.second);
+}
+#endif  // W11_OBS
+
+// ----------------------------------------------------------------- Metrics
+
+TEST(Metrics, CountersSumAcrossLanesAndWorkerCounts) {
+  auto json_at = [](int workers) {
+    MetricsRegistry reg;
+    reg.set_enabled(true);
+    const obs::Counter items = reg.counter("work.items");
+    const obs::Histogram sizes = reg.histogram("work.size", {1, 2, 4, 8});
+    exec::TaskPool pool(workers);
+    pool.parallel_for(1000, [&](std::size_t i, int) {
+      items.add(1);
+      sizes.observe(static_cast<double>(i % 10));
+    });
+    EXPECT_EQ(reg.counter_value(items), 1000u);
+    return obs::metrics_json_string(reg);
+  };
+  const std::string serial = json_at(1);
+  const std::string threaded = json_at(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(Metrics, GaugeLatestSetWins) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Gauge g = reg.gauge("queue.depth");
+  g.set(1.0);
+  g.set(2.5);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value(g), -3.0);
+}
+
+TEST(Metrics, HistogramViewCountsBucketsAndBounds) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Histogram h = reg.histogram("lat", {1, 2, 4, 8});
+  for (double v : {0.5, 1.5, 3.0, 6.0, 6.0}) h.observe(v);
+  const auto view = reg.histogram_view(h);
+  EXPECT_EQ(view.count, 5u);
+  EXPECT_DOUBLE_EQ(view.sum, 17.0);
+  EXPECT_DOUBLE_EQ(view.min, 0.5);
+  EXPECT_DOUBLE_EQ(view.max, 6.0);
+  ASSERT_EQ(view.counts.size(), 5u);  // 4 bounds + overflow
+  EXPECT_EQ(view.counts[0], 1u);
+  EXPECT_EQ(view.counts[1], 1u);
+  EXPECT_EQ(view.counts[2], 1u);
+  EXPECT_EQ(view.counts[3], 2u);
+  EXPECT_EQ(view.counts[4], 0u);
+  // Quantiles are interpolated estimates: monotone and inside [min, max].
+  const double p25 = view.quantile(0.25);
+  const double p50 = view.quantile(0.50);
+  const double p95 = view.quantile(0.95);
+  EXPECT_LE(view.min, p25);
+  EXPECT_LE(p25, p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, view.max);
+}
+
+TEST(Metrics, RegistrationIsIdempotentAndKindChecked) {
+  MetricsRegistry reg;
+  const obs::Counter a = reg.counter("dup.name");
+  const obs::Counter b = reg.counter("dup.name");
+  EXPECT_EQ(reg.metric_count(), 1u);
+  reg.set_enabled(true);
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(reg.counter_value(a), 5u) << "same name must alias one slot";
+  EXPECT_THROW((void)reg.gauge("dup.name"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("dup.name"), std::logic_error);
+}
+
+TEST(Metrics, SnapshotExpandsHistogramsInRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Counter c = reg.counter("c");
+  const obs::Histogram h = reg.histogram("h", {10});
+  const obs::Gauge g = reg.gauge("g");
+  c.add(4);
+  h.observe(5.0);
+  g.set(1.25);
+  const auto samples = reg.snapshot();
+  std::vector<std::string> names;
+  for (const auto& s : samples) names.push_back(s.name);
+  const std::vector<std::string> want = {"c",     "h.count", "h.sum",
+                                         "h.mean", "h.p50",  "h.p95",
+                                         "h.max",  "g"};
+  EXPECT_EQ(names, want);
+  EXPECT_DOUBLE_EQ(samples[0].value, 4.0);
+  EXPECT_DOUBLE_EQ(samples[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(samples[2].value, 5.0);
+  EXPECT_DOUBLE_EQ(samples.back().value, 1.25);
+}
+
+TEST(Metrics, ResetValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Counter c = reg.counter("c");
+  c.add(7);
+  reg.reset_values();
+  EXPECT_EQ(reg.metric_count(), 1u);
+  EXPECT_EQ(reg.counter_value(c), 0u);
+  c.add(1);
+  EXPECT_EQ(reg.counter_value(c), 1u);
+}
+
+#if W11_OBS
+TEST(Metrics, MacroGateRespectsRuntimeToggle) {
+  MetricsRegistry& reg = obs::metrics();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(false);
+  const std::size_t before = reg.metric_count();
+  W11_COUNT("test.macro.gate");  // disabled: must not even register
+  EXPECT_EQ(reg.metric_count(), before);
+
+  reg.set_enabled(true);
+  W11_COUNT("test.macro.gate");
+  W11_COUNT_N("test.macro.gate", 4);
+  EXPECT_EQ(reg.counter_value(reg.counter("test.macro.gate")), 5u);
+  reg.set_enabled(was_enabled);
+}
+
+TEST(ObsEnv, EnableFromEnvHonorsW11Trace) {
+  const bool tracer_was = obs::tracer().enabled();
+  const bool metrics_was = obs::metrics().enabled();
+
+  ::setenv("W11_TRACE", "0", 1);
+  EXPECT_FALSE(obs::enable_from_env());
+  ::setenv("W11_TRACE", "1", 1);
+  EXPECT_TRUE(obs::enable_from_env());
+  EXPECT_TRUE(obs::tracer().enabled());
+  EXPECT_TRUE(obs::metrics().enabled());
+  ::unsetenv("W11_TRACE");
+  EXPECT_FALSE(obs::enable_from_env());
+
+  ::setenv("W11_TRACE_OUT", "/tmp/custom.json", 1);
+  EXPECT_STREQ(obs::trace_out_path("default.json"), "/tmp/custom.json");
+  ::unsetenv("W11_TRACE_OUT");
+  EXPECT_STREQ(obs::trace_out_path("default.json"), "default.json");
+
+  obs::tracer().set_enabled(tracer_was);
+  obs::tracer().clear();
+  obs::metrics().set_enabled(metrics_was);
+}
+#endif  // W11_OBS
+
+// ---------------------------------------------------------------- Bridge
+
+TEST(TelemetryBridge, SnapshotLandsAsLittleTableRows) {
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  const obs::Counter c = reg.counter("acks");
+  const obs::Gauge g = reg.gauge("depth");
+  c.add(5);
+  g.set(2.5);
+
+  telemetry::LittleTable table = obs::make_metrics_table();
+  const auto names = obs::snapshot_into(reg, table, time::seconds(1));
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "acks");
+  EXPECT_EQ(names[1], "depth");
+  EXPECT_EQ(table.row_count(), 2u);
+  const auto rows = table.query(Time{0}, time::seconds(2));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].values[0], 5.0);
+  EXPECT_DOUBLE_EQ(rows[1].values[0], 2.5);
+}
+
+// ------------------------------------------------------------ Planner audit
+
+std::vector<ApScan> audit_scans(int n_aps, std::uint64_t seed) {
+  workload::CampusConfig cc;
+  cc.n_aps = n_aps;
+  cc.buildings = std::max(2, n_aps / 12);
+  cc.seed = seed;
+  auto net = workload::make_campus(cc);
+  Rng rng(seed ^ 0x5eedULL);
+  workload::randomize_channels(*net, ChannelWidth::MHz40, rng);
+  return net->scan();
+}
+
+TEST(PlanAuditTest, AttachingAuditDoesNotPerturbThePlan) {
+  const auto scans = audit_scans(40, 17);
+  ChannelPlan plan;
+  for (const ApScan& s : scans) plan[s.id] = s.current;
+  turboca::Params p;
+  p.runs_min = 1;
+  p.runs_max = 3;
+
+  turboca::TurboCA bare(p, Rng(5));
+  const auto without = bare.run(scans, plan, 1);
+
+  turboca::TurboCA audited(p, Rng(5));
+  PlanAudit audit;
+  audited.set_audit(&audit);
+  const auto with = audited.run(scans, plan, 1);
+
+  EXPECT_TRUE(without.plan == with.plan);
+  EXPECT_EQ(without.improved, with.improved);
+  EXPECT_DOUBLE_EQ(without.netp_log, with.netp_log);
+
+  ASSERT_FALSE(audit.rounds().empty());
+  ASSERT_FALSE(audit.picks().empty());
+  std::uint32_t round_picks = 0;
+  for (const auto& r : audit.rounds()) {
+    EXPECT_EQ(r.hop_limit, 1);
+    round_picks += r.picks;
+  }
+  EXPECT_EQ(round_picks, audit.picks().size() + audit.dropped_picks());
+
+  // Every switch must come with the term breakdown that explains it.
+  bool saw_switch = false;
+  for (const auto& pk : audit.picks()) {
+    EXPECT_FALSE(pk.terms_to.empty());
+    if (pk.switched) {
+      saw_switch = true;
+      EXPECT_NE(pk.from, pk.to);
+      EXPECT_FALSE(pk.terms_from.empty());
+    }
+  }
+  EXPECT_TRUE(saw_switch);
+
+  std::ostringstream table;
+  audit.write_table(table, /*switches_only=*/true);
+  EXPECT_NE(table.str().find("planner decision audit"), std::string::npos);
+  std::ostringstream jsonl;
+  audit.write_jsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("\"type\":\"round\""), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"type\":\"pick\""), std::string::npos);
+}
+
+TEST(PlanAuditTest, AuditRecordsAreWorkerCountInvariant) {
+  const auto scans = audit_scans(60, 29);
+  ChannelPlan plan;
+  for (const ApScan& s : scans) plan[s.id] = s.current;
+  turboca::Params p;
+  p.runs_min = 1;
+  p.runs_max = 2;
+
+  auto jsonl_at = [&](int workers) {
+    exec::TaskPool pool(workers);
+    turboca::TurboCA tca(p, Rng(13));
+    tca.set_pool(&pool);
+    PlanAudit audit;
+    tca.set_audit(&audit);
+    (void)tca.run(scans, plan, 0);
+    std::ostringstream os;
+    audit.write_jsonl(os);
+    return os.str();
+  };
+
+  const std::string serial = jsonl_at(1);
+  const std::string threaded = jsonl_at(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(PlanAuditTest, PickCapDropsDetailButKeepsCounting) {
+  PlanAudit audit(/*max_picks=*/2);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    obs::PickRecord r;
+    r.pick = i;
+    audit.add_pick(std::move(r));
+  }
+  EXPECT_EQ(audit.picks().size(), 2u);
+  EXPECT_EQ(audit.dropped_picks(), 3u);
+}
+
+}  // namespace
+}  // namespace w11

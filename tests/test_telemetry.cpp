@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/stats.hpp"
 #include "flowsim/network.hpp"
 #include "telemetry/collector.hpp"
 #include "telemetry/littletable.hpp"
@@ -162,6 +165,76 @@ TEST(LittleTable, AggregateOverEmptyRangeIsZero) {
       0.0);
 }
 
+TEST(LittleTable, QuantileAggregation) {
+  auto t = two_col();
+  // 1..100 in one bucket: interpolated p50 / p95 match Samples::quantile
+  // (pos = q·(n−1) with linear interpolation).
+  for (int i = 1; i <= 100; ++i)
+    t.insert(0, time::seconds(i), {static_cast<double>(i), 0.0});
+  Samples ref;
+  for (int i = 1; i <= 100; ++i) ref.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(t.aggregate_scalar("a", LittleTable::Agg::kP50, Time{0},
+                                      time::seconds(200)),
+                   ref.quantile(0.50));
+  EXPECT_DOUBLE_EQ(t.aggregate_scalar("a", LittleTable::Agg::kP95, Time{0},
+                                      time::seconds(200)),
+                   ref.quantile(0.95));
+}
+
+TEST(LittleTable, QuantileBucketsAndSingletons) {
+  auto t = two_col();
+  // Bucket 1 holds {10, 20, 30}; bucket 2 holds {100} (singleton).
+  t.insert(0, time::seconds(1), {10.0, 0.0});
+  t.insert(0, time::seconds(2), {20.0, 0.0});
+  t.insert(0, time::seconds(3), {30.0, 0.0});
+  t.insert(0, time::seconds(11), {100.0, 0.0});
+  const auto p50 = t.aggregate("a", LittleTable::Agg::kP50, Time{0},
+                               time::seconds(20), time::seconds(10));
+  ASSERT_EQ(p50.size(), 2u);
+  EXPECT_DOUBLE_EQ(p50[0].second, 20.0);
+  EXPECT_DOUBLE_EQ(p50[1].second, 100.0);
+  const auto p95 = t.aggregate("a", LittleTable::Agg::kP95, Time{0},
+                               time::seconds(20), time::seconds(10));
+  // p95 of {10,20,30}: pos = 0.95*2 = 1.9 -> 20*(0.1) + 30*(0.9) = 29.
+  EXPECT_DOUBLE_EQ(p95[0].second, 29.0);
+}
+
+TEST(LittleTable, QuantileWithOutOfOrderInserts) {
+  // The quantile sorts the bucket's values, so insertion order (and the
+  // lazy time-sort it triggers) must not matter.
+  auto in_order = two_col();
+  auto shuffled = two_col();
+  const double vals[] = {5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0};
+  for (int i = 0; i < 9; ++i)
+    in_order.insert(0, time::seconds(i), {static_cast<double>(i + 1), 0.0});
+  for (int i = 0; i < 9; ++i) {
+    // Timestamps deliberately not monotone.
+    shuffled.insert(0, time::seconds(8 - i), {vals[i], 0.0});
+  }
+  EXPECT_DOUBLE_EQ(shuffled.aggregate_scalar("a", LittleTable::Agg::kP50,
+                                             Time{0}, time::seconds(100)),
+                   in_order.aggregate_scalar("a", LittleTable::Agg::kP50,
+                                             Time{0}, time::seconds(100)));
+  EXPECT_DOUBLE_EQ(shuffled.aggregate_scalar("a", LittleTable::Agg::kP95,
+                                             Time{0}, time::seconds(100)),
+                   in_order.aggregate_scalar("a", LittleTable::Agg::kP95,
+                                             Time{0}, time::seconds(100)));
+}
+
+TEST(LittleTable, QuantileAfterRetentionTrim) {
+  auto t = two_col();
+  for (int i = 0; i < 10; ++i)
+    t.insert(0, time::seconds(i), {static_cast<double>(i * 10), 0.0});
+  t.trim_before(time::seconds(5));  // survivors: 50, 60, 70, 80, 90
+  EXPECT_DOUBLE_EQ(t.aggregate_scalar("a", LittleTable::Agg::kP50, Time{0},
+                                      time::seconds(100)),
+                   70.0);
+  // p95 of {50..90}: pos = 0.95*4 = 3.8 -> 80*0.2 + 90*0.8 = 88.
+  EXPECT_DOUBLE_EQ(t.aggregate_scalar("a", LittleTable::Agg::kP95, Time{0},
+                                      time::seconds(100)),
+                   88.0);
+}
+
 TEST(Collector, RecordsPerApAndNetworkRows) {
   flowsim::Network::Config cfg;
   cfg.prop.shadowing_sigma = 0.0;
@@ -181,6 +254,38 @@ TEST(Collector, RecordsPerApAndNetworkRows) {
       "throughput_mbps", telemetry::LittleTable::Agg::kMean, Time{0},
       time::hours(1));
   EXPECT_NEAR(thr, 5.0, 0.5);
+}
+
+TEST(Collector, DropCountersSurfaceAsColumns) {
+  flowsim::Network::Config cfg;
+  cfg.prop.shadowing_sigma = 0.0;
+  flowsim::Network net(cfg);
+  const ApId a =
+      net.add_ap({0, 0}, ChannelWidth::MHz80, {Band::G5, 42, ChannelWidth::MHz80});
+  net.add_client(a, {3, 0},
+                 {WifiStandard::k80211ac, true, ChannelWidth::MHz80, 2, true, true},
+                 5.0);
+  telemetry::NetworkCollector col;
+  const auto ev = net.evaluate();
+  col.record(net, ev, time::minutes(1));
+  col.drop_next(2);
+  col.record(net, ev, time::minutes(2));  // dropped
+  col.record(net, ev, time::minutes(3));  // dropped
+  col.record(net, ev, time::minutes(4));
+  EXPECT_EQ(col.records_written(), 2u);
+  EXPECT_EQ(col.records_dropped(), 2u);
+  // The dashboard's own query surface sees the same counters.
+  const auto rows = col.net_stats().query(Time{0}, time::hours(1));
+  ASSERT_EQ(rows.size(), 2u);
+  const auto col_of = [&](const char* name) {
+    const auto& cols = col.net_stats().columns();
+    return static_cast<std::size_t>(
+        std::find(cols.begin(), cols.end(), name) - cols.begin());
+  };
+  EXPECT_EQ(rows[0].values[col_of("records_dropped")], 0.0);
+  EXPECT_EQ(rows[0].values[col_of("records_written")], 1.0);
+  EXPECT_EQ(rows[1].values[col_of("records_dropped")], 2.0);
+  EXPECT_EQ(rows[1].values[col_of("records_written")], 2.0);
 }
 
 }  // namespace
