@@ -46,15 +46,36 @@ void TurboCaService::advance_to(Time now) {
   // (degraded scans) leaves the anchors untouched: the tier retries at the
   // next poll tick instead of silently losing a whole period.
   if (now - last_slow_ >= schedule_.slow) {
-    if (run_now({2, 1, 0})) last_slow_ = last_medium_ = last_fast_ = now;
+    if (run_now({2, 1, 0})) {
+      last_slow_ = last_medium_ = last_fast_ = now;
+      replan_pending_ = false;  // every tier ends with i = 0
+    }
     return;
   }
   if (now - last_medium_ >= schedule_.medium) {
-    if (run_now({1, 0})) last_medium_ = last_fast_ = now;
+    if (run_now({1, 0})) {
+      last_medium_ = last_fast_ = now;
+      replan_pending_ = false;
+    }
     return;
   }
   if (now - last_fast_ >= schedule_.fast) {
-    if (run_now({0})) last_fast_ = now;
+    if (run_now({0})) {
+      last_fast_ = now;
+      replan_pending_ = false;
+    }
+    return;
+  }
+  // Out-of-band request (post-revert): one forced i = 0 pass, off-cadence.
+  // Clearing the flag only on success keeps it sticky across degraded-scan
+  // skips; the fast anchor also advances so the regular firing does not
+  // immediately duplicate the forced one.
+  if (replan_pending_) {
+    if (run_now({0})) {
+      last_fast_ = now;
+      replan_pending_ = false;
+      ++stats_.requested_replans;
+    }
   }
 }
 

@@ -51,6 +51,7 @@ class TurboCaService {
     int empty_scan_skips = 0;
     int stale_scan_skips = 0;
     int clock_anomalies = 0;
+    int requested_replans = 0;  // request_replan() firings actually run
   };
 
   TurboCaService(Params params, Schedule schedule, NetworkHooks hooks, Rng rng);
@@ -65,6 +66,14 @@ class TurboCaService {
   // Run one full pass with hop limits `levels` (e.g. {2,1,0}) immediately.
   // Returns false if the firing was skipped (empty or stale scans).
   bool run_now(const std::vector<int>& levels);
+
+  // Ask for an out-of-band NBO(0) pass at the next advance_to tick,
+  // regardless of tier anchors — the rollout coordinator calls this after
+  // an auto-revert so the planner reacts to the regression (or the radar
+  // strike behind it) now instead of up to 15 minutes later. Sticky until
+  // a firing actually runs (degraded scans keep it pending).
+  void request_replan() { replan_pending_ = true; }
+  [[nodiscard]] bool replan_pending() const { return replan_pending_; }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -81,6 +90,7 @@ class TurboCaService {
   Time last_medium_{};
   Time last_slow_{};
   Time now_{};  // clock high-water mark from advance_to
+  bool replan_pending_ = false;
   Stats stats_;
 };
 

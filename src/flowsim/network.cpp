@@ -109,6 +109,19 @@ int Network::apply_plan(const ChannelPlan& plan) {
   return switches;
 }
 
+bool Network::apply_channel(ApId id, const Channel& to) {
+  ApNode& ap = ap_of_mut(id);
+  if (ap.channel == to) {
+    refresh_dfs_fallback(ap);
+    return false;
+  }
+  ap.channel = to;
+  ++total_switches_;
+  account_switch_disruption(ap);
+  refresh_dfs_fallback(ap);
+  return true;
+}
+
 ChannelPlan Network::current_plan() const {
   ChannelPlan plan;
   for (const auto& ap : aps_) plan[ap.id] = ap.channel;
@@ -154,11 +167,21 @@ void Network::radar_event(ApId id) {
   ApNode& ap = ap_of_mut(id);
   // Radar matters only on the DFS channel the AP currently occupies.
   if (!ap.channel.is_dfs()) return;
+  // Repeat strike on a channel already vacated this epoch: the planner (or
+  // a revert) put an AP back onto it before rearm_radar(). The AP must
+  // still leave, but the degradation counters already charged this event —
+  // counting it again double-books evacuations and client disruption.
+  const bool duplicate = !radar_struck_.insert(ap.channel).second;
   if (!ap.dfs_fallback || *ap.dfs_fallback == ap.channel)
     refresh_dfs_fallback(ap);
   ap.channel = ap.dfs_fallback.value_or(
       Channel{cfg_.band, 36, ChannelWidth::MHz20});
   ++total_switches_;
+  if (duplicate) {
+    ++radar_duplicates_;
+    refresh_dfs_fallback(ap);
+    return;
+  }
   ++radar_evacuations_;
   account_switch_disruption(ap);
   // The stale fallback was the bug: an operator-supplied (possibly DFS)

@@ -19,6 +19,7 @@
 // plans are evaluated by an independent model, avoiding circularity.
 
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -128,6 +129,10 @@ class Network {
   // cumulative client-seconds of disruption are tracked so stability can be
   // weighed against plan quality.
   int apply_plan(const ChannelPlan& plan);
+  // Single-AP switch (the rollout pipeline applies plans one command at a
+  // time). Same disruption accounting and fallback upkeep as apply_plan;
+  // returns whether the channel actually changed.
+  bool apply_channel(ApId ap, const Channel& to);
   [[nodiscard]] ChannelPlan current_plan() const;
   [[nodiscard]] int total_switches() const { return total_switches_; }
   [[nodiscard]] double disruption_client_seconds() const {
@@ -146,6 +151,17 @@ class Network {
   // never stranded on a channel it must leave. No-op off DFS channels.
   void radar_event(ApId ap);
   [[nodiscard]] int radar_evacuations() const { return radar_evacuations_; }
+  // Non-occupancy memory: a channel struck this epoch stays on the list
+  // until rearm_radar() (called at epoch boundaries, when regulation would
+  // allow re-occupancy). A repeat strike on a listed channel — the planner
+  // moved an AP back onto it within the epoch — still vacates the AP but
+  // does NOT re-count evacuation/disruption degradation; it is the same
+  // regulatory event, not new damage.
+  void rearm_radar() { radar_struck_.clear(); }
+  [[nodiscard]] bool radar_struck(const Channel& c) const {
+    return radar_struck_.contains(c);
+  }
+  [[nodiscard]] int radar_duplicates() const { return radar_duplicates_; }
 
   // --- measurement -------------------------------------------------------
   // Scan snapshots for the channel-assignment service.
@@ -195,6 +211,8 @@ class Network {
   std::vector<ExternalInterferer> interferers_;
   int total_switches_ = 0;
   int radar_evacuations_ = 0;
+  int radar_duplicates_ = 0;
+  std::set<Channel> radar_struck_;  // struck this epoch (cleared by rearm)
   double disruption_client_seconds_ = 0.0;
   std::uint64_t clients_disrupted_ = 0;
   std::uint32_t next_station_ = 0;

@@ -50,9 +50,13 @@ enum class TraceKind : std::uint16_t {
   kNboPick,         // one committed ACC decision; a = AP index, b = switched
   // telemetry
   kCollectorPoll,   // one collector polling interval; a = rows, b = dropped
+  // ctrl (plan rollout)
+  kRolloutApply,    // one AP reached kApplied; a = attempts, b = switched
+  kRolloutWave,     // one wave launched; ord = wave index, a = wave size
+  kRolloutRevert,   // rollout reverted; a = RevertReason, b = APs touched
 };
 
-enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelemetry };
+enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelemetry, kCtrl };
 
 [[nodiscard]] constexpr const char* to_string(TraceKind k) {
   switch (k) {
@@ -68,6 +72,9 @@ enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelem
     case TraceKind::kNboBatch: return "planner.nbo_batch";
     case TraceKind::kNboPick: return "planner.nbo_pick";
     case TraceKind::kCollectorPoll: return "telemetry.poll";
+    case TraceKind::kRolloutApply: return "ctrl.rollout_apply";
+    case TraceKind::kRolloutWave: return "ctrl.rollout_wave";
+    case TraceKind::kRolloutRevert: return "ctrl.rollout_revert";
   }
   return "?";
 }
@@ -86,6 +93,9 @@ enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelem
     case TraceKind::kNboBatch:
     case TraceKind::kNboPick: return TraceCategory::kPlanner;
     case TraceKind::kCollectorPoll: return TraceCategory::kTelemetry;
+    case TraceKind::kRolloutApply:
+    case TraceKind::kRolloutWave:
+    case TraceKind::kRolloutRevert: return TraceCategory::kCtrl;
   }
   return TraceCategory::kSim;
 }
@@ -97,6 +107,7 @@ enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelem
     case TraceCategory::kFastAck: return "fastack";
     case TraceCategory::kPlanner: return "planner";
     case TraceCategory::kTelemetry: return "telemetry";
+    case TraceCategory::kCtrl: return "ctrl";
   }
   return "?";
 }

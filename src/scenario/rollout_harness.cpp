@@ -1,0 +1,185 @@
+#include "scenario/rollout_harness.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/turboca/service.hpp"
+#include "ctrl/plan_store.hpp"
+#include "fault/scan_fault.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/littletable.hpp"
+#include "workload/topology.hpp"
+
+namespace w11::scenario {
+
+RolloutScenarioResult run_rollout_scenario(const RolloutScenarioConfig& cfg) {
+  RolloutScenarioResult out;
+
+  workload::CampusConfig cc;
+  cc.n_aps = cfg.n_aps;
+  cc.seed = cfg.net_seed;
+  auto net = workload::make_campus(cc);
+
+  Simulator sim;
+  ctrl::ControlChannel chan(sim, cfg.channel, cfg.ctrl_seed, cfg.n_aps);
+  ctrl::PlanApplier applier(
+      sim, chan, cfg.backoff,
+      ctrl::PlanApplier::Hooks{[&](std::uint32_t ap, const Channel& c) {
+        return net->apply_channel(ApId{ap}, c);
+      }},
+      cfg.ctrl_seed * 131 + 7);
+  ctrl::PlanStore store;
+  telemetry::NetworkCollector coll;
+  if (cfg.telemetry_max_age > Time{0})
+    coll.ap_stats().set_retention({cfg.telemetry_max_age, 0});
+
+  // --- planner service, its plan output redirected into the store --------
+  // The service believes it applied a plan; what actually happened is a
+  // version commit. The controller tick below starts the staged rollout,
+  // and only the applier's acked commands touch the network.
+  std::uint64_t pending_version = 0;
+  turboca::NetworkHooks inner;
+  inner.scan = [&] { return net->scan(); };
+  inner.current_plan = [&] { return net->current_plan(); };
+  turboca::TurboCaService::Schedule sched;
+  sched.max_scan_age = time::hours(1);
+  // Declared before the service so the hook can reference it; filled after
+  // the service exists (the commit needs its last_netp_log).
+  turboca::TurboCaService* svc_ptr = nullptr;
+  inner.apply_plan = [&](const ChannelPlan& p) {
+    pending_version =
+        store.commit(p, svc_ptr->stats().last_netp_log, sim.now());
+  };
+  fault::DegradedScanHooks deg(inner, [&] { return sim.now(); },
+                               Rng(cfg.net_seed * 31 + 7));
+  turboca::TurboCaService svc({}, sched, deg.hooks(), Rng(cfg.net_seed));
+  svc_ptr = &svc;
+  if (cfg.pool != nullptr) svc.engine().set_pool(cfg.pool);
+
+  // --- rollout coordinator ------------------------------------------------
+  ctrl::RolloutCoordinator::Hooks rh;
+  rh.netp_log = [&] { return svc.stats().last_netp_log; };
+  rh.mean_utilization = [&](Time from, Time to) {
+    if (from < Time{0}) from = Time{0};
+    const telemetry::LittleTable& t = coll.ap_stats();
+    const double n = t.aggregate_scalar(
+        "utilization", telemetry::LittleTable::Agg::kCount, from, to);
+    if (n <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+    return t.aggregate_scalar("utilization",
+                              telemetry::LittleTable::Agg::kMean, from, to);
+  };
+  rh.request_replan = [&] { svc.request_replan(); };
+  rh.channel_of = [&](std::uint32_t ap) { return net->aps()[ap].channel; };
+  ctrl::RolloutCoordinator coord(sim, applier, store, cfg.rollout,
+                                 std::move(rh));
+
+  // Bootstrap: the network's as-built plan is the first last-known-good —
+  // there is always something safe to revert to.
+  store.mark_good(store.commit(net->current_plan(), 0.0, Time{0}));
+
+  // --- fault wiring --------------------------------------------------------
+  fault::FaultHandlers fh;
+  fh.radar = [&](int ap) {
+    if (ap < 0 || ap >= cfg.n_aps) return;
+    const Channel before = net->aps()[static_cast<std::size_t>(ap)].channel;
+    net->radar_event(ApId{static_cast<std::uint32_t>(ap)});
+    if (net->aps()[static_cast<std::size_t>(ap)].channel != before)
+      coord.notify_radar(static_cast<std::uint32_t>(ap));
+  };
+  fh.link_down = [&](int link) {
+    if (link >= 0 && link < cfg.n_aps)
+      chan.set_online(static_cast<std::uint32_t>(link), false);
+  };
+  fh.link_up = [&](int link) {
+    if (link >= 0 && link < cfg.n_aps)
+      chan.set_online(static_cast<std::uint32_t>(link), true);
+  };
+  fh.ap_crash = [&](int ap) {
+    // A rebooting AP is unreachable over the control channel for the
+    // reboot window, then reconnects (apply-on-reconnect picks it up).
+    if (ap < 0 || ap >= cfg.n_aps) return;
+    const auto u = static_cast<std::uint32_t>(ap);
+    chan.set_online(u, false);
+    sim.schedule_after(cfg.crash_reboot, [&chan, u] {
+      chan.set_online(u, true);
+    });
+  };
+  fh.telemetry_drop = [&](int n) { coll.drop_next(n); };
+  fh.scan_degrade = [&](fault::ScanFaultMode m, double keep) {
+    deg.set_mode(m, keep);
+  };
+  fh.clock_jump = [&](Time back) {
+    // The service observes a rewound clock; advance_to counts and ignores
+    // it, so tier anchors (and fire-once semantics) survive.
+    svc.advance_to(sim.now() - back);
+  };
+  fault::FaultInjector inj(cfg.faults, fh);
+  inj.arm(sim);
+
+  // --- the polling / controller tick --------------------------------------
+  bool accepting = true;       // no new rollouts after the horizon
+  std::uint64_t started_version = 0;
+  std::uint64_t done_seen = 0;  // committed + reverted already tallied
+  auto tick = [&] {
+    const auto ev = net->evaluate();
+    coll.record(*net, ev, sim.now());
+    svc.advance_to(sim.now());
+    const std::uint64_t done_now = coord.stats().committed +
+                                   coord.stats().reverted;
+    if (done_now > done_seen) {
+      out.convergence_s.push_back(coord.last_convergence().sec());
+      done_seen = done_now;
+    }
+    if (accepting && !coord.active() && pending_version > started_version &&
+        pending_version > store.last_known_good_version()) {
+      if (coord.start(pending_version)) started_version = pending_version;
+    }
+  };
+  PeriodicTimer poll(sim, cfg.poll, cfg.poll, tick);
+
+  std::unique_ptr<PeriodicTimer> rearm;
+  if (cfg.radar_rearm > Time{0})
+    rearm = std::make_unique<PeriodicTimer>(sim, cfg.radar_rearm,
+                                            cfg.radar_rearm,
+                                            [&] { net->rearm_radar(); });
+
+  sim.run_until(cfg.horizon);
+  accepting = false;
+  // Settle: let an in-flight rollout reach a terminal state. The poll timer
+  // keeps the queue alive forever, so run in bounded chunks.
+  const Time deadline = cfg.horizon + cfg.settle_limit;
+  while (coord.active() && sim.now() < deadline)
+    sim.run_until(sim.now() + cfg.poll);
+  // One more tick's worth so a just-terminal rollout's convergence sample
+  // is tallied by the loop above.
+  sim.run_until(sim.now() + cfg.poll);
+
+  // --- verdict -------------------------------------------------------------
+  const ctrl::PlanVersion* good = store.last_known_good();
+  out.half_applied = 0;
+  for (const auto& ap : net->aps()) {
+    if (coord.radar_pinned().contains(ap.id.value())) continue;
+    const auto it = good->plan.find(ap.id);
+    if (it == good->plan.end() || ap.channel != it->second) ++out.half_applied;
+  }
+  out.converged = !coord.active() && !applier.wave_active() &&
+                  out.half_applied == 0;
+  out.end_time = sim.now();
+  out.audit_jsonl = coord.audit().jsonl();
+  out.rollout = coord.stats();
+  out.apply = applier.stats();
+  out.channel = chan.stats();
+  out.fault_stats = inj.stats();
+  out.fault_log = inj.log();
+  out.final_plan = net->current_plan();
+  out.last_known_good = store.last_known_good_version();
+  out.radar_duplicates = net->radar_duplicates();
+  out.telemetry_rows = coll.ap_stats().row_count();
+  out.telemetry_trimmed = coll.ap_stats().rows_trimmed();
+  out.planner_runs = svc.stats().runs;
+  out.requested_replans = svc.stats().requested_replans;
+  return out;
+}
+
+}  // namespace w11::scenario

@@ -1,0 +1,84 @@
+#pragma once
+// End-to-end plan-rollout scenario: a campus flowsim Network, the TurboCA
+// service, the telemetry collector, and the src/ctrl/ rollout pipeline —
+// all driven by one discrete-event Simulator with a FaultPlan armed on it.
+//
+// The loop closes exactly as the deployment's does (§2, §4.4.4):
+//
+//   scan → TurboCA plan → PlanStore.commit → RolloutCoordinator waves
+//        → ControlChannel (lossy) → PlanApplier retries → Network switches
+//        → collector rows → wave validation reads them back → commit/revert
+//
+// and the FaultPlan yanks on every joint at exact sim timestamps: control
+// links flap mid-wave, radar lands mid-rollout, the collector drops the
+// rows validation wants, the service clock rewinds. The chaos soak
+// (tests/test_rollout.cpp) asserts the one invariant the subsystem exists
+// for: whatever the fault plan did, the fleet converges — every AP ends on
+// the rolled-out plan, the last-known-good, or its radar fallback, with the
+// rollout audit byte-identical at any worker count.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "ctrl/applier.hpp"
+#include "ctrl/control_channel.hpp"
+#include "ctrl/rollout.hpp"
+#include "exec/task_pool.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "flowsim/scan.hpp"
+
+namespace w11::scenario {
+
+struct RolloutScenarioConfig {
+  int n_aps = 12;
+  std::uint64_t net_seed = 1;
+  std::uint64_t ctrl_seed = 99;  // control channel + backoff jitter streams
+  Time horizon = time::hours(2);
+  Time poll = time::minutes(1);  // collector + service + controller tick
+  // Extra sim time allowed after the horizon for an in-flight rollout to
+  // reach a terminal state (no new rollouts start past the horizon).
+  Time settle_limit = time::hours(2);
+  // DFS non-occupancy epoch: struck channels re-arm this often (Time{0} =
+  // never re-arm within the run).
+  Time radar_rearm = time::hours(1);
+  // AP reboot duration after FaultKind::kApCrash (control link down).
+  Time crash_reboot = time::seconds(30);
+  fault::FaultPlan faults;
+  ctrl::ControlChannel::Config channel;
+  ctrl::Backoff backoff;
+  ctrl::RolloutCoordinator::Config rollout;
+  // Retention on the collector's ap_stats table (exercises trim under the
+  // validation reads); max_rows 0 / max_age 0 = unbounded.
+  Time telemetry_max_age = time::hours(1);
+  exec::TaskPool* pool = nullptr;  // planner scoring pool; nullptr = global
+};
+
+struct RolloutScenarioResult {
+  // Convergence invariant: no rollout in flight at the end AND every AP is
+  // on the last-known-good plan's channel or radar-pinned on its fallback.
+  bool converged = false;
+  int half_applied = 0;  // APs violating the invariant
+  Time end_time{};
+  std::string audit_jsonl;              // deterministic rollout audit
+  std::vector<double> convergence_s;    // per completed rollout
+  ctrl::RolloutCoordinator::Stats rollout;
+  ctrl::PlanApplier::Stats apply;
+  ctrl::ControlChannel::Stats channel;
+  fault::InjectorStats fault_stats;
+  std::vector<fault::FaultEvent> fault_log;  // determinism witness
+  ChannelPlan final_plan;
+  std::uint64_t last_known_good = 0;
+  int radar_duplicates = 0;
+  std::uint64_t telemetry_rows = 0;
+  std::uint64_t telemetry_trimmed = 0;
+  int planner_runs = 0;
+  int requested_replans = 0;
+};
+
+[[nodiscard]] RolloutScenarioResult run_rollout_scenario(
+    const RolloutScenarioConfig& cfg);
+
+}  // namespace w11::scenario

@@ -24,6 +24,8 @@ void LittleTable::insert(std::uint32_t entity, Time at,
   W11_CHECK_MSG(values.size() == columns_.size(), "schema width mismatch");
   if (!rows_.empty() && at < rows_.back().at) sorted_ = false;
   rows_.push_back(Row{entity, at, std::move(values)});
+  newest_ = std::max(newest_, at);
+  maybe_compact();
 }
 
 void LittleTable::reserve_rows(std::size_t rows) {
@@ -45,7 +47,9 @@ void LittleTable::append(std::vector<Row> batch) {
     prev = r.at;
   }
   rows_.reserve(rows_.size() + batch.size());
+  for (const Row& r : batch) newest_ = std::max(newest_, r.at);
   std::move(batch.begin(), batch.end(), std::back_inserter(rows_));
+  maybe_compact();
 }
 
 void LittleTable::ensure_sorted() const {
@@ -147,7 +151,50 @@ void LittleTable::trim_before(Time cutoff) {
   const auto lo = std::lower_bound(
       rows_.begin(), rows_.end(), cutoff,
       [](const Row& r, Time t) { return r.at < t; });
+  rows_trimmed_ += static_cast<std::uint64_t>(lo - rows_.begin());
   rows_.erase(rows_.begin(), lo);
+}
+
+void LittleTable::set_retention(Retention r) {
+  retention_ = r;
+  // Enforce immediately so shrinking the window takes effect without
+  // waiting for the next ingest to cross the slack threshold.
+  if (retention_.max_age > Time{0} && !rows_.empty())
+    trim_before(newest_ - retention_.max_age);
+  if (retention_.max_rows > 0 && rows_.size() > retention_.max_rows) {
+    ensure_sorted();
+    const std::size_t drop = rows_.size() - retention_.max_rows;
+    rows_trimmed_ += drop;
+    rows_.erase(rows_.begin(),
+                rows_.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+}
+
+void LittleTable::maybe_compact() {
+  // Amortization: act only once the window is exceeded by slack, so the
+  // sort + prefix erase is paid once per ~window/kCompactSlack ingested
+  // rows instead of on every insert.
+  bool over = false;
+  if (retention_.max_rows > 0 &&
+      rows_.size() > retention_.max_rows + retention_.max_rows / kCompactSlack)
+    over = true;
+  if (!over && retention_.max_age > Time{0} && !rows_.empty()) {
+    const Time budget =
+        retention_.max_age + time::nanos(retention_.max_age.ns() /
+                                         static_cast<std::int64_t>(kCompactSlack));
+    ensure_sorted();  // cheap when already sorted (the common ingest order)
+    if (newest_ - rows_.front().at > budget) over = true;
+  }
+  if (!over) return;
+  if (retention_.max_age > Time{0})
+    trim_before(newest_ - retention_.max_age);
+  if (retention_.max_rows > 0 && rows_.size() > retention_.max_rows) {
+    ensure_sorted();
+    const std::size_t drop = rows_.size() - retention_.max_rows;
+    rows_trimmed_ += drop;
+    rows_.erase(rows_.begin(),
+                rows_.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
 }
 
 }  // namespace w11::telemetry

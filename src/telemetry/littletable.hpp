@@ -66,14 +66,39 @@ class LittleTable {
   // Retention: drop rows strictly before `cutoff`.
   void trim_before(Time cutoff);
 
+  // Retention window, enforced by amortized compaction at ingest time (the
+  // backend's tables are trimmed by the writer, not by readers):
+  //   * max_age: rows older than this relative to the newest row go;
+  //     Time{0} disables the age bound.
+  //   * max_rows: hard cap on resident rows (oldest evicted first);
+  //     0 disables the cap.
+  // Compaction runs when the window is exceeded by kCompactSlack — one
+  // erase per ~slack ingests, not one per row — so steady-state ingest
+  // stays amortized O(1) per row.
+  struct Retention {
+    Time max_age{0};
+    std::size_t max_rows = 0;
+  };
+  void set_retention(Retention r);
+  [[nodiscard]] const Retention& retention() const { return retention_; }
+  // Rows dropped by retention so far (trim_before included).
+  [[nodiscard]] std::uint64_t rows_trimmed() const { return rows_trimmed_; }
+
  private:
+  // Exceed the window by 1/kCompactSlack of its size before compacting.
+  static constexpr std::size_t kCompactSlack = 8;
+
   [[nodiscard]] std::size_t column_index(std::string_view column) const;
   void ensure_sorted() const;
+  void maybe_compact();
 
   std::string name_;
   std::vector<std::string> columns_;
   mutable std::vector<Row> rows_;
   mutable bool sorted_ = true;
+  Retention retention_;
+  Time newest_{};  // max timestamp ever ingested (age anchor)
+  std::uint64_t rows_trimmed_ = 0;
 };
 
 }  // namespace w11::telemetry

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -228,6 +229,58 @@ TEST(ShardRng, TasksDrawingFromOwnStreamsAreDeterministic) {
   };
   const auto serial = run(1);
   for (int workers : {2, 4, 8}) ASSERT_EQ(serial, run(workers));
+}
+
+TEST(ShardRng, BackoffJitterStreamsAreWorkerCountInvariant) {
+  // The ctrl::PlanApplier derives retry jitter from a stream keyed by
+  // (ap << 32) | attempt — the exact pattern under test here. The full
+  // (ap, attempt) grid of draws must come out identical whether the draws
+  // happen serially or race across any number of pool workers.
+  constexpr std::uint32_t kAps = 64;
+  constexpr int kAttempts = 8;
+  const ShardRng shards(0xC0FFEE);
+  auto stream_of = [](std::uint32_t ap, int attempt) {
+    return (static_cast<std::uint64_t>(ap) << 32) |
+           static_cast<std::uint64_t>(attempt);
+  };
+  auto draw = [&](std::uint32_t ap, int attempt) {
+    Rng r = shards.rng_for(stream_of(ap, attempt));
+    return r.uniform(0.75, 1.25);  // the jitter scale draw
+  };
+  std::vector<double> serial;
+  for (std::uint32_t ap = 0; ap < kAps; ++ap)
+    for (int attempt = 2; attempt < 2 + kAttempts; ++attempt)
+      serial.push_back(draw(ap, attempt));
+  for (int workers : {1, 2, 4, 8}) {
+    TaskPool pool(workers);
+    const auto parallel = pool.parallel_map<double>(
+        kAps * kAttempts, [&](std::size_t i) {
+          const auto ap = static_cast<std::uint32_t>(i / kAttempts);
+          const int attempt = 2 + static_cast<int>(i % kAttempts);
+          return draw(ap, attempt);
+        });
+    ASSERT_EQ(serial, parallel) << workers << " workers";
+  }
+}
+
+TEST(ShardRng, BackoffJitterStreamsDoNotCollide) {
+  // (ap, attempt) pairs map to distinct streams: neighboring APs at the
+  // same attempt, and the same AP at successive attempts, never share a
+  // jitter sequence (a collision would synchronize retry thundering herds).
+  const ShardRng shards(99);
+  auto first_draw = [&](std::uint32_t ap, int attempt) {
+    Rng r = shards.rng_for((static_cast<std::uint64_t>(ap) << 32) |
+                           static_cast<std::uint64_t>(attempt));
+    return r.uniform();
+  };
+  std::vector<double> seen;
+  for (std::uint32_t ap = 0; ap < 32; ++ap)
+    for (int attempt = 2; attempt < 10; ++attempt)
+      seen.push_back(first_draw(ap, attempt));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+  // And the same (root, stream) always replays the same value.
+  EXPECT_EQ(first_draw(5, 3), first_draw(5, 3));
 }
 
 }  // namespace

@@ -393,6 +393,44 @@ TEST(RadarFallback, BurstThroughInjectorNeverStrandsTheAp) {
   EXPECT_FALSE(net.aps()[0].channel.is_dfs());
 }
 
+TEST(RadarFallback, RepeatStrikeWithinEpochDoesNotDoubleCountDegradation) {
+  flowsim::Network net{flowsim::Network::Config{}};
+  const ClientCapability cap{WifiStandard::k80211ac, true, ChannelWidth::MHz80,
+                             2, true, true};
+  const Channel ch52{Band::G5, 52, ChannelWidth::MHz20};
+  const ApId a = net.add_ap(Position{0, 0}, ChannelWidth::MHz80, ch52);
+  net.add_client(a, Position{3, 0}, cap, 5.0);
+
+  net.radar_event(a);
+  EXPECT_EQ(net.radar_evacuations(), 1);
+  EXPECT_EQ(net.radar_duplicates(), 0);
+  EXPECT_TRUE(net.radar_struck(ch52));
+  const double disruption_after_first = net.disruption_client_seconds();
+
+  // The planner (or a rollout revert) puts the AP back onto the channel
+  // radar already cleared, before the non-occupancy epoch expires. The next
+  // strike must still vacate the AP but not double-book the degradation
+  // counters — this is the re-arm bug: each strike used to count as a fresh
+  // evacuation no matter how many times the same channel was struck.
+  net.apply_plan(ChannelPlan{{a, ch52}});
+  ASSERT_EQ(net.aps()[0].channel, ch52);
+  net.radar_event(a);
+  EXPECT_FALSE(net.aps()[0].channel.is_dfs());  // still evacuates
+  EXPECT_EQ(net.radar_evacuations(), 1);        // but counted once per epoch
+  EXPECT_EQ(net.radar_duplicates(), 1);
+  EXPECT_DOUBLE_EQ(net.disruption_client_seconds(), disruption_after_first);
+
+  // A new non-occupancy epoch re-arms the channel: the next strike is a
+  // genuine evacuation again.
+  net.rearm_radar();
+  EXPECT_FALSE(net.radar_struck(ch52));
+  net.apply_plan(ChannelPlan{{a, ch52}});
+  net.radar_event(a);
+  EXPECT_EQ(net.radar_evacuations(), 2);
+  EXPECT_EQ(net.radar_duplicates(), 1);
+  EXPECT_GT(net.disruption_client_seconds(), disruption_after_first);
+}
+
 // -------------------------------------------- FastACK safe-disable / GC --
 
 // Same minimal rig as test_fastack.cpp: one AP, agent installed, wire

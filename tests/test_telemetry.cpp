@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "flowsim/network.hpp"
 #include "telemetry/collector.hpp"
@@ -233,6 +234,69 @@ TEST(LittleTable, QuantileAfterRetentionTrim) {
   EXPECT_DOUBLE_EQ(t.aggregate_scalar("a", LittleTable::Agg::kP95, Time{0},
                                       time::seconds(100)),
                    88.0);
+}
+
+TEST(LittleTable, RetentionWindowTrimsByAgeAtIngest) {
+  auto t = two_col();
+  t.set_retention({/*max_age=*/time::seconds(10), /*max_rows=*/0});
+  for (int i = 0; i <= 60; ++i)
+    t.insert(0, time::seconds(i), {static_cast<double>(i), 0.0});
+  // Compaction is amortized (slack = max_age/8), so allow the overhang, but
+  // the window must be roughly max_age, not the full 61 rows.
+  EXPECT_LE(t.row_count(), 13u);  // 11 in-window + slack
+  EXPECT_GE(t.row_count(), 11u);
+  EXPECT_GT(t.rows_trimmed(), 0u);
+  // The newest rows always survive.
+  const auto rows = t.query(Time{0}, time::seconds(100));
+  EXPECT_EQ(rows.back().values[0], 60.0);
+  EXPECT_GE(rows.front().values[0], 60.0 - 13.0);
+}
+
+TEST(LittleTable, RetentionWindowCapsRowCount) {
+  auto t = two_col();
+  t.set_retention({/*max_age=*/Time{0}, /*max_rows=*/16});
+  for (int i = 0; i < 200; ++i)
+    t.insert(0, time::seconds(i), {static_cast<double>(i), 0.0});
+  EXPECT_LE(t.row_count(), 16u + 2u);  // cap + kCompactSlack/row-slack
+  EXPECT_EQ(t.rows_trimmed() + t.row_count(), 200u);
+  EXPECT_EQ(t.query(Time{0}, time::seconds(1000)).back().values[0], 199.0);
+}
+
+TEST(LittleTable, SetRetentionEnforcesImmediately) {
+  auto t = two_col();
+  for (int i = 0; i < 100; ++i)
+    t.insert(0, time::seconds(i), {static_cast<double>(i), 0.0});
+  ASSERT_EQ(t.row_count(), 100u);
+  t.set_retention({time::seconds(20), 10});
+  // Age bound first (rows newer than 99-20=79s), then the row cap.
+  EXPECT_EQ(t.row_count(), 10u);
+  EXPECT_EQ(t.rows_trimmed(), 90u);
+  const auto rows = t.query(Time{0}, time::seconds(1000));
+  EXPECT_EQ(rows.front().values[0], 90.0);
+  EXPECT_EQ(rows.back().values[0], 99.0);
+}
+
+TEST(LittleTable, QuantilesOverTrimmedWindowMatchAFreshTable) {
+  // Trim correctness for the interpolated aggregates: whatever rows survive
+  // retention, kP50/kP95 over them must equal the same query on a table
+  // built from only those rows — trimming must not disturb the sort index
+  // or leave phantom values behind.
+  auto t = two_col();
+  t.set_retention({time::seconds(30), 0});
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i)
+    t.insert(0, time::seconds(i), {rng.uniform(0.0, 100.0), 0.0});
+  const auto survivors = t.query(Time{0}, time::seconds(10000));
+  ASSERT_FALSE(survivors.empty());
+  ASSERT_LT(survivors.size(), 500u);
+  auto fresh = two_col();
+  for (const auto& r : survivors) fresh.insert(r.entity, r.at, r.values);
+  for (const auto agg : {LittleTable::Agg::kP50, LittleTable::Agg::kP95,
+                         LittleTable::Agg::kMean, LittleTable::Agg::kSum}) {
+    EXPECT_DOUBLE_EQ(
+        t.aggregate_scalar("a", agg, Time{0}, time::seconds(10000)),
+        fresh.aggregate_scalar("a", agg, Time{0}, time::seconds(10000)));
+  }
 }
 
 TEST(Collector, RecordsPerApAndNetworkRows) {
