@@ -143,6 +143,69 @@ void BM_NboSweepReference(benchmark::State& state) {
 }
 BENCHMARK(BM_NboSweepReference)->Arg(40)->Arg(200)->Arg(600)->Complexity();
 
+// The batched SoA kernel's own-term pass (DESIGN.md §14): all candidates of
+// one AP scored in a single score block walk. Counters report the
+// per-candidate cost and throughput the tentpole claims.
+void BM_ScoreCandidates(benchmark::State& state) {
+  const turboca::Params params;
+  const flowsim::ScanIndex index(campus_scans(200),
+                                 params.neighbor_rssi_floor);
+  const turboca::PlanContext ctx(index, params, {});
+  const turboca::PsiSet psi(index.size());
+  std::vector<double> out;
+  std::size_t i = 0;
+  std::int64_t cands_scored = 0;
+  for (auto _ : state) {
+    const std::size_t target = i++ % index.size();
+    out.resize(index.candidates(target).size());
+    ctx.score_candidates(target, out, &psi);
+    benchmark::DoNotOptimize(out.data());
+    cands_scored += static_cast<std::int64_t>(out.size());
+  }
+  state.SetItemsProcessed(cands_scored);
+  state.counters["candidates_per_sec"] = benchmark::Counter(
+      static_cast<double>(cands_scored), benchmark::Counter::kIsRate);
+  state.counters["ns_per_candidate"] = benchmark::Counter(
+      static_cast<double>(cands_scored) * 1e-9,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_ScoreCandidates);
+
+// One full batched NodeP evaluation of a move: own term for every candidate
+// plus every affected neighbor's term under each trial — exactly what one
+// ACC pick pays, minus the argmax. The before/after partner of
+// BM_NodePEvaluation (one scalar node_p_log call per iteration there).
+void BM_NodePBatch(benchmark::State& state) {
+  const turboca::Params params;
+  const flowsim::ScanIndex index(campus_scans(200),
+                                 params.neighbor_rssi_floor);
+  const turboca::PlanContext ctx(index, params, {});
+  const turboca::PsiSet psi(index.size());
+  std::vector<double> out;
+  std::size_t i = 0;
+  std::int64_t terms_scored = 0;  // (candidate, AP-term) evaluations
+  for (auto _ : state) {
+    const std::size_t target = i++ % index.size();
+    out.resize(index.candidates(target).size());
+    ctx.score_candidates(target, out, &psi);
+    std::int64_t aps = 1;
+    for (const flowsim::ScanIndex::Neighbor& nb : index.neighbors(target)) {
+      if (psi.contains(nb.index)) continue;
+      ctx.add_neighbor_scores(nb.index, target, &psi, out);
+      ++aps;
+    }
+    benchmark::DoNotOptimize(out.data());
+    terms_scored += aps * static_cast<std::int64_t>(out.size());
+  }
+  state.SetItemsProcessed(terms_scored);
+  state.counters["node_p_per_sec"] = benchmark::Counter(
+      static_cast<double>(terms_scored), benchmark::Counter::kIsRate);
+  state.counters["ns_per_node_p"] = benchmark::Counter(
+      static_cast<double>(terms_scored) * 1e-9,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_NodePBatch);
+
 // Steady-state ACC cost against a warm PlanContext: candidate trial moves
 // evaluated incrementally (mover + overlap-affected neighbors only).
 void BM_AccIncremental(benchmark::State& state) {
@@ -177,6 +240,39 @@ void BM_ScanIndexBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ScanIndexBuild)->Arg(200);
+
+// Fleet-cadence index rebuild with the service-style ScanStatsCache: every
+// firing after the first finds all APs' spectrum content unchanged, so the
+// aggregate fill is pure row copies. stats_hit_rate proves the cache is
+// actually serving (1.0 = every AP row after warmup came from the cache).
+void BM_ScanIndexBuildCached(benchmark::State& state) {
+  const auto scans = campus_scans(static_cast<int>(state.range(0)));
+  const turboca::Params params;
+  flowsim::ScanStatsCache cache;
+  {  // warm firing, as a long-lived service's first run
+    const flowsim::ScanIndex warm(scans, params.neighbor_rssi_floor, nullptr,
+                                  &cache);
+    benchmark::DoNotOptimize(warm.size());
+  }
+  const std::uint64_t warm_misses = cache.stats().misses;
+  for (auto _ : state) {
+    const flowsim::ScanIndex index(scans, params.neighbor_rssi_floor, nullptr,
+                                   &cache);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  const flowsim::ScanStatsCache::Stats& cs = cache.stats();
+  state.counters["stats_hits"] =
+      benchmark::Counter(static_cast<double>(cs.hits));
+  state.counters["stats_misses"] =
+      benchmark::Counter(static_cast<double>(cs.misses));
+  state.counters["stats_hit_rate"] =
+      cs.hits + (cs.misses - warm_misses)
+          ? static_cast<double>(cs.hits) /
+                static_cast<double>(cs.hits + cs.misses - warm_misses)
+          : 0.0;
+}
+BENCHMARK(BM_ScanIndexBuildCached)->Arg(200);
 
 void BM_FlowsimEvaluate(benchmark::State& state) {
   workload::CampusConfig cc;

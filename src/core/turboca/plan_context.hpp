@@ -20,6 +20,7 @@
 //     non-improving proposal without rescoring the network.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/turboca/turboca.hpp"
@@ -91,9 +92,34 @@ class PlanContext {
 
   // node_p_log with the §4.4 per-width term breakdown appended to `out`
   // (when non-null). Arithmetic is identical to node_p_log — the audit
-  // (DESIGN.md §12) sees exactly the numbers the optimizer used.
+  // (DESIGN.md §12) sees exactly the numbers the optimizer used. This stays
+  // on the scalar path deliberately; the kernel parity suite
+  // (tests/test_score_kernel.cpp) pins it against score_candidates.
   [[nodiscard]] double node_p_log_terms(std::size_t i, const Channel& c,
                                         std::vector<obs::NodePTerm>* out) const;
+
+  // ---- batched SoA scoring kernel (DESIGN.md §14) -----------------------
+  // One pass over AP i's ScanIndex score block evaluating log NodeP for
+  // EVERY candidate channel at once: the ψ overlay and the plan's contender
+  // counts are applied once per sub-channel instead of once per (candidate,
+  // width, neighbor) probe. out[k] must equal — bit for bit —
+  //   node_p_log(i, candidates(i)[k], psi, &TrialMove{i, cand_k, ord_k})
+  // (the self-trial is what ACC passes; it only differs from a plain
+  // node_p_log when an AP degenerately reports itself as a neighbor, in
+  // which case the kernel falls back to the scalar loop). out.size() must
+  // be candidates(i).size().
+  void score_candidates(std::size_t i, std::span<double> out,
+                        const PsiSet* psi = nullptr) const;
+
+  // The ACC neighbor leg, batched over trial channels: adds
+  //   node_p_log(nb, channel_of(nb), psi, &TrialMove{target, cand_k, ord_k})
+  // to inout[k] for every candidate k of `target`. The neighbor's base
+  // contender counts and per-width log terms are computed once; per
+  // candidate the only varying input is whether the target's trial channel
+  // overlaps each sub-channel — one mask probe selecting between the
+  // with/without-target log term. Bit-identical to the scalar sum.
+  void add_neighbor_scores(std::size_t nb, std::size_t target,
+                           const PsiSet* psi, std::span<double> inout) const;
 
   void begin_round();
   void commit_round();
@@ -111,10 +137,22 @@ class PlanContext {
                                       obs::NodePTerm* detail = nullptr) const;
   void mark_dirty(std::size_t i);
 
+  // Scalar fallback for one candidate slot of the batched kernel (rare
+  // paths: non-catalog candidate or plan channel, self-reporting AP).
+  [[nodiscard]] double scalar_candidate_score(std::size_t i, std::size_t k,
+                                              const PsiSet* psi,
+                                              const TrialMove* trial) const;
+
   const flowsim::ScanIndex* index_;
   Params params_;
   std::vector<Channel> plan_;
   std::vector<int> plan_ord_;
+  // Kernel SoA companions, aligned to the index's candidate slots / term
+  // arrays: switch penalties depend only on (scan, params, candidate) and
+  // effective loads fold the empty-AP rule in — both are plan-invariant, so
+  // they are built once here and never touched by set().
+  std::vector<double> cand_penalty_;  // per candidate slot
+  std::vector<double> term_eff_load_;  // per term, empty_ap_load applied
   ChannelPlan extras_;  // initial-plan entries for APs not in the index
   std::vector<double> term_;
   std::vector<char> dirty_;

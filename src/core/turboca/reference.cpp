@@ -5,6 +5,12 @@
 #include <limits>
 #include <unordered_map>
 
+// The oracle side of the golden plan-equivalence suite; value-unsafe FP
+// breaks the bit-for-bit contract from this end too.
+#ifdef __FAST_MATH__
+#error "reference.cpp must not be compiled with -ffast-math (determinism)"
+#endif
+
 namespace w11::turboca {
 
 namespace {

@@ -92,9 +92,12 @@ bool TurboCaService::run_now(const std::vector<int>& levels) {
     ++stats_.stale_scan_skips;
     return false;
   }
-  // One index per firing, shared across all hop tiers of the schedule.
+  // One index per firing, shared across all hop tiers of the schedule; the
+  // service-lifetime stats cache carries unchanged spectrum rows between
+  // firings.
   const flowsim::ScanIndex index(std::move(scans),
-                                 engine_.params().neighbor_rssi_floor);
+                                 engine_.params().neighbor_rssi_floor,
+                                 /*pool=*/nullptr, &stats_cache_);
   ChannelPlan plan = hooks_.current_plan();
   bool improved = false;
   double netp = 0.0;
@@ -148,7 +151,8 @@ bool ReservedCaService::run_now() {
     return false;
   }
   const flowsim::ScanIndex index(std::move(scans),
-                                 engine_.params().neighbor_rssi_floor);
+                                 engine_.params().neighbor_rssi_floor,
+                                 /*pool=*/nullptr, &stats_cache_);
   PlanContext ctx(index, engine_.params(), hooks_.current_plan());
 
   // Sequential sweep: each AP takes its isolated best channel given

@@ -16,6 +16,7 @@
 #include "common/time.hpp"
 #include "core/turboca/turboca.hpp"
 #include "flowsim/scan.hpp"
+#include "flowsim/scan_index.hpp"
 
 namespace w11::turboca {
 
@@ -82,10 +83,19 @@ class TurboCaService {
   // service fires.
   [[nodiscard]] TurboCA& engine() { return engine_; }
 
+  // Cross-epoch spectrum-aggregate reuse: the service owns one cache for
+  // its lifetime and threads it through every per-firing ScanIndex build,
+  // so APs whose spectrum content is unchanged between firings skip the
+  // aggregate recompute. hits/misses live in its Stats.
+  [[nodiscard]] const flowsim::ScanStatsCache& scan_stats_cache() const {
+    return stats_cache_;
+  }
+
  private:
   TurboCA engine_;
   Schedule schedule_;
   NetworkHooks hooks_;
+  flowsim::ScanStatsCache stats_cache_;
   Time last_fast_{};
   Time last_medium_{};
   Time last_slow_{};
@@ -121,11 +131,15 @@ class ReservedCaService {
   bool run_now();
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const flowsim::ScanStatsCache& scan_stats_cache() const {
+    return stats_cache_;
+  }
 
  private:
   Config cfg_;
   TurboCA engine_;  // reuses NodeP for the isolated per-AP score
   NetworkHooks hooks_;
+  flowsim::ScanStatsCache stats_cache_;
   Time last_run_{};
   Time now_{};
   Stats stats_;

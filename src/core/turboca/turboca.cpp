@@ -1,9 +1,11 @@
 #include "core/turboca/turboca.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <span>
 #include <unordered_map>
 
 #include "common/check.hpp"
@@ -21,46 +23,26 @@ Channel TurboCA::acc(const PlanContext& ctx, std::size_t target,
                      const PsiSet& psi) const {
   const flowsim::ScanIndex& index = ctx.index();
   const ApScan& a = index.scan(target);
+  const std::vector<Channel>& cands = index.candidates(target);
 
-  // Only target and its neighbors change NodeP when target moves (§4.4.2).
-  // Note: the affected list deliberately ignores the contender RSSI floor
-  // (a sub-floor neighbor's own term can still shift if it hears us).
-  std::vector<std::uint32_t> affected;
-  affected.reserve(index.neighbors(target).size());
+  // All (channel, width) trials in two batched kernel passes (DESIGN.md
+  // §14): the target's own term for every candidate at once, then one pass
+  // per affected neighbor adding its term under each trial. Only target and
+  // its neighbors change NodeP when target moves (§4.4.2); the affected
+  // sweep deliberately ignores the contender RSSI floor (a sub-floor
+  // neighbor's own term can still shift if it hears us). The batched sums
+  // accumulate in the exact order the old per-candidate scalar loop did
+  // (own term first, then neighbors in scan-report order), so scores — and
+  // the selection below — are bit-identical to it. The kernel replaced the
+  // candidate-level pool fan-out: one serial pass is now cheaper than
+  // dispatch was.
+  std::array<double, channels::kMaxCatalogOrdinals + 1> scores_buf;
+  W11_CHECK(cands.size() <= scores_buf.size());
+  const std::span<double> scores(scores_buf.data(), cands.size());
+  ctx.score_candidates(target, scores, &psi);
   for (const flowsim::ScanIndex::Neighbor& nb : index.neighbors(target)) {
     if (psi.contains(nb.index)) continue;
-    affected.push_back(nb.index);
-  }
-
-  const std::vector<Channel>& cands = index.candidates(target);
-  const std::vector<int>& cand_ords = index.candidate_ordinals(target);
-
-  // Score the move target→c against the context without committing it.
-  auto score_candidate = [&](std::size_t k) {
-    const Channel& c = cands[k];
-    const PlanContext::TrialMove trial{target, c, cand_ords[k]};
-    double score = ctx.node_p_log(target, c, &psi, &trial);
-    for (std::uint32_t nbi : affected) {
-      const Channel& nc = nbi == target ? c : ctx.channel_of(nbi);
-      score += ctx.node_p_log(nbi, nc, &psi, &trial);
-    }
-    return score;
-  };
-
-  // The (channel, width) trials are independent read-only evaluations
-  // against ctx, so they fan out over the pool when the candidate set is
-  // wide enough to amortize dispatch. Each trial's sum runs serially inside
-  // one task and scores land by index, so the selection below sees the
-  // exact serial values in the exact serial order at any worker count.
-  std::vector<double> scores;
-  exec::TaskPool& tp = pool();
-  if (tp.workers() > 1 && !exec::TaskPool::in_task() && cands.size() >= 8 &&
-      !affected.empty()) {
-    scores = tp.parallel_map<double>(cands.size(), score_candidate);
-  } else {
-    scores.reserve(cands.size());
-    for (std::size_t k = 0; k < cands.size(); ++k)
-      scores.push_back(score_candidate(k));
+    ctx.add_neighbor_scores(nb.index, target, &psi, scores);
   }
 
   Channel best = a.current;

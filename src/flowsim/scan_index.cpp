@@ -1,14 +1,51 @@
 #include "flowsim/scan_index.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 
 #include "exec/task_pool.hpp"
 
+// The aggregate rows feed the planner's bit-for-bit contracts (golden plan
+// equivalence, audit/kernel parity); value-unsafe FP breaks them.
+#ifdef __FAST_MATH__
+#error "flowsim/scan_index.cpp must not be compiled with -ffast-math (determinism)"
+#endif
+
 namespace w11::flowsim {
 
+namespace {
+
+// FNV-1a over the scan fields the aggregate row depends on (the
+// external_util and quality maps — compute_stats reads nothing else).
+// std::map iteration is key-ordered, so equal content hashes equally
+// regardless of insertion history.
+std::uint64_t stats_content_hash(const ApScan& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  auto mix_map = [&](const std::map<int, double>& m) {
+    const std::size_t n = m.size();
+    mix(&n, sizeof(n));
+    for (const auto& [k, v] : m) {
+      mix(&k, sizeof(k));
+      mix(&v, sizeof(v));
+    }
+  };
+  mix_map(s.external_util);
+  mix_map(s.quality);
+  return h;
+}
+
+}  // namespace
+
 ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor,
-                     exec::TaskPool* pool)
+                     exec::TaskPool* pool, ScanStatsCache* stats_cache)
     : scans_(std::move(scans)), floor_(contender_rssi_floor) {
   const std::size_t n = scans_.size();
   n_ordinals_ = channels::catalog_size();
@@ -18,6 +55,7 @@ ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor,
 
   recs_.resize(n);
   stats_.resize(n * n_ordinals_);
+  std::size_t n_terms = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const ApScan& s = scans_[i];
     ApRecord& r = recs_[i];
@@ -27,6 +65,7 @@ ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor,
     for (const NeighborReport& nb : s.neighbors) {
       const auto it = by_id_.find(nb.id);
       if (it == by_id_.end()) continue;
+      if (it->second == i) r.self_neighbor = true;
       nbr_flat_.push_back(Neighbor{it->second, !(nb.rssi < floor_)});
     }
     r.nbr_end = static_cast<std::uint32_t>(nbr_flat_.size());
@@ -55,19 +94,111 @@ ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor,
     r.candidate_ordinals.reserve(r.candidates.size());
     for (const Channel& c : r.candidates)
       r.candidate_ordinals.push_back(channels::ordinal(c));
+
+    // Slot layout of the SoA scoring block: each catalog candidate expands
+    // to (width levels) terms; non-catalog candidates contribute none.
+    r.cand_begin = static_cast<std::uint32_t>(cand_slots_);
+    cand_slots_ += r.candidates.size();
+    for (int ord : r.candidate_ordinals)
+      if (ord >= 0)
+        n_terms += static_cast<std::size_t>(
+            static_cast<int>(channels::by_ordinal(ord).width) + 1);
   }
 
-  // Per-catalog-channel aggregates: the dominant build cost, fanned out one
-  // AP per task. Task i writes only row i's slice of stats_, and each cell
-  // is a pure function of (scan i, catalog channel), so the fill is
-  // race-free and bit-identical at any worker count.
+  // Cross-epoch aggregate reuse: probe the cache serially (it is not
+  // thread-safe), remember per-AP hits, and insert freshly computed rows
+  // after the parallel fill. Hit rows are copied inside the task — reads of
+  // immutable cached rows are race-free.
+  std::vector<const ChannelStats*> cached_row(n, nullptr);
+  std::vector<std::uint64_t> row_hash;
+  if (stats_cache != nullptr) {
+    row_hash.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      row_hash[i] = stats_content_hash(scans_[i]);
+      const auto it = stats_cache->rows_.find(row_hash[i]);
+      if (it != stats_cache->rows_.end()) {
+        cached_row[i] = it->second.data();
+        ++stats_cache->stats_.hits;
+      } else {
+        ++stats_cache->stats_.misses;
+      }
+    }
+  }
+
+  // Flat term arrays: per-candidate offsets first (serial prefix sums), the
+  // fill itself rides the per-AP parallel tasks below.
+  cand_term_begin_.resize(cand_slots_ + 1);
+  term_load_.resize(n_terms);
+  term_ext_.resize(n_terms);
+  term_qual_.resize(n_terms);
+  term_width_.resize(n_terms);
+  term_sub_.resize(n_terms);
+  {
+    std::uint32_t term = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const ApRecord& r = recs_[i];
+      for (std::size_t k = 0; k < r.candidates.size(); ++k) {
+        cand_term_begin_[r.cand_begin + k] = term;
+        const int ord = r.candidate_ordinals[k];
+        if (ord >= 0)
+          term += static_cast<std::uint32_t>(
+              static_cast<int>(channels::by_ordinal(ord).width) + 1);
+      }
+    }
+    cand_term_begin_[cand_slots_] = term;
+  }
+
+  // Per-catalog-channel aggregates + SoA term fill: the dominant build
+  // cost, fanned out one AP per task. Task i writes only row i's slice of
+  // stats_ and its own term-array slice, and each cell is a pure function
+  // of (scan i, catalog channel), so the fill is race-free and
+  // bit-identical at any worker count.
+  const std::int16_t* sub_table = channels::sub_channel_table();
+  const std::size_t sub_stride = channels::sub_channel_stride();
   exec::TaskPool& tp = pool ? *pool : exec::TaskPool::global();
-  tp.parallel_for(n, [this](std::size_t i) {
+  tp.parallel_for(n, [&, this](std::size_t i) {
     const ApScan& s = scans_[i];
-    for (std::size_t ord = 0; ord < n_ordinals_; ++ord)
-      stats_[i * n_ordinals_ + ord] =
-          compute_stats(s, channels::by_ordinal(static_cast<int>(ord)));
+    ChannelStats* row = stats_.data() + i * n_ordinals_;
+    if (cached_row[i] != nullptr) {
+      std::memcpy(row, cached_row[i], n_ordinals_ * sizeof(ChannelStats));
+    } else {
+      for (std::size_t ord = 0; ord < n_ordinals_; ++ord)
+        row[ord] = compute_stats(s, channels::by_ordinal(static_cast<int>(ord)));
+    }
+
+    const ApRecord& r = recs_[i];
+    for (std::size_t k = 0; k < r.candidates.size(); ++k) {
+      const int ord = r.candidate_ordinals[k];
+      if (ord < 0) continue;
+      const int cw = static_cast<int>(channels::by_ordinal(ord).width);
+      std::uint32_t t = cand_term_begin_[r.cand_begin + k];
+      for (int b = 0; b <= cw; ++b, ++t) {
+        const std::int16_t sub =
+            sub_table[static_cast<std::size_t>(ord) * sub_stride +
+                      static_cast<std::size_t>(b)];
+        term_load_[t] = r.load_at[b][cw];
+        term_ext_[t] = row[sub].external_util;
+        term_qual_[t] = row[sub].quality;
+        term_width_[t] =
+            static_cast<double>(width_mhz(static_cast<ChannelWidth>(b)));
+        term_sub_[t] = sub;
+      }
+    }
   });
+
+  if (stats_cache != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cached_row[i] != nullptr) continue;
+      if (stats_cache->rows_.size() >= stats_cache->capacity_) {
+        ++stats_cache->stats_.full_skips;
+        continue;
+      }
+      stats_cache->rows_.emplace(
+          row_hash[i],
+          std::vector<ChannelStats>(stats_.begin() + static_cast<std::ptrdiff_t>(i * n_ordinals_),
+                                    stats_.begin() + static_cast<std::ptrdiff_t>((i + 1) * n_ordinals_)));
+    }
+  }
 
   // Reverse contender edges: dependents(x) = { a : x is a contender-eligible
   // neighbor of a }. Counting sort into one flat array.

@@ -38,13 +38,47 @@ class TaskPool;
 
 namespace w11::flowsim {
 
+// Spectrum aggregates of one catalog channel as seen by one AP. Defined at
+// namespace scope so ScanStatsCache can hold rows of them; ScanIndex keeps
+// its historical `ScanIndex::ChannelStats` spelling as an alias.
+struct ScanChannelStats {
+  double external_util = 0.0;  // worst 20 MHz component external util
+  double quality = 1.0;        // mean 20 MHz component quality
+};
+
+// Cross-epoch reuse of per-(AP, catalog channel) spectrum aggregates,
+// keyed by a content hash of the scan fields that feed them (external_util
+// + quality). A fleet-cadence service rebuilds its ScanIndex every firing,
+// but most APs' spectrum snapshots are unchanged between firings — the
+// aggregate row (the dominant index-build cost) can be copied instead of
+// recomputed. Rows are immutable once inserted, so a hit is bit-identical
+// to a recompute of the same content. Bounded: once `capacity` distinct
+// rows are held, new rows are still computed but no longer retained.
+//
+// Not thread-safe; probe/insert happen on the index-building thread only
+// (the parallel stats fill reads rows, which is safe — they never mutate).
+class ScanStatsCache {
+ public:
+  explicit ScanStatsCache(std::size_t capacity = 65536)
+      : capacity_(capacity) {}
+
+  struct Stats {
+    std::uint64_t hits = 0;      // AP rows served from the cache
+    std::uint64_t misses = 0;    // AP rows computed fresh
+    std::uint64_t full_skips = 0;  // rows not retained (capacity reached)
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  friend class ScanIndex;
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, std::vector<ScanChannelStats>> rows_;
+  Stats stats_;
+};
+
 class ScanIndex {
  public:
-  // Spectrum aggregates of one catalog channel as seen by one AP.
-  struct ChannelStats {
-    double external_util = 0.0;  // worst 20 MHz component external util
-    double quality = 1.0;        // mean 20 MHz component quality
-  };
+  using ChannelStats = ScanChannelStats;
 
   struct Neighbor {
     std::uint32_t index;  // position of the neighbor's scan in scans()
@@ -54,11 +88,13 @@ class ScanIndex {
   // Construction fans the per-(AP, catalog channel) aggregate fill — the
   // dominant build cost — out over `pool` (nullptr = the global pool). Every
   // task writes only its own AP's slice, so the result is identical at any
-  // worker count.
+  // worker count. An optional ScanStatsCache (owned by the caller, one per
+  // long-lived service) lets APs whose spectrum content is unchanged across
+  // epochs copy their aggregate row instead of recomputing it.
   explicit ScanIndex(
       std::vector<ApScan> scans,
       Dbm contender_rssi_floor = -std::numeric_limits<double>::infinity(),
-      exec::TaskPool* pool = nullptr);
+      exec::TaskPool* pool = nullptr, ScanStatsCache* stats_cache = nullptr);
 
   [[nodiscard]] std::size_t size() const { return scans_.size(); }
   [[nodiscard]] const std::vector<ApScan>& scans() const { return scans_; }
@@ -108,12 +144,52 @@ class ScanIndex {
     return recs_[i].total_load;
   }
 
+  // ---- SoA candidate scoring block (DESIGN.md §14) ----------------------
+  // Every catalog candidate k of AP i expands to one (b = 20MHz..width)
+  // term per sub-channel width, laid out contiguously in flat parallel
+  // arrays; a candidate whose channel is outside the catalog contributes
+  // zero terms (term_begin[k] == term_begin[k+1]) and must be scored on the
+  // scalar path. The batched NodeP kernel walks these arrays with no
+  // geometry calls and no map lookups.
+  struct ScoreBlock {
+    // Half-open per-candidate term ranges: candidate k owns global term
+    // indices [term_begin[k], term_begin[k+1]). Size candidates(i)+1.
+    const std::uint32_t* term_begin = nullptr;
+    const double* load = nullptr;        // raw load(b) for the (b, cw) pair
+    const double* ext = nullptr;         // sub-channel external utilization
+    const double* qual = nullptr;        // sub-channel quality
+    const double* width = nullptr;       // width_mhz(b) as double
+    const std::int16_t* sub = nullptr;   // sub-channel catalog ordinal
+  };
+  [[nodiscard]] ScoreBlock score_block(std::size_t i) const {
+    const ApRecord& r = recs_[i];
+    return ScoreBlock{cand_term_begin_.data() + r.cand_begin,
+                      term_load_.data(), term_ext_.data(), term_qual_.data(),
+                      term_width_.data(), term_sub_.data()};
+  }
+  // First slot of AP i's candidates in per-candidate flat arrays (the
+  // PlanContext aligns its per-candidate penalty table to these slots).
+  [[nodiscard]] std::uint32_t candidate_base(std::size_t i) const {
+    return recs_[i].cand_begin;
+  }
+  // Total candidate slots across all APs.
+  [[nodiscard]] std::size_t candidate_slots() const {
+    return cand_slots_;
+  }
+  // True if AP i reports itself as a neighbor (degenerate input); the
+  // kernel bails to the scalar path for such APs.
+  [[nodiscard]] bool has_self_neighbor(std::size_t i) const {
+    return recs_[i].self_neighbor;
+  }
+
  private:
   struct ApRecord {
     std::uint32_t nbr_begin = 0, nbr_end = 0;
     std::uint32_t dep_begin = 0, dep_end = 0;
+    std::uint32_t cand_begin = 0;  // into cand_term_begin_ (slot space)
     double total_load = 0.0;
     double load_at[4][4] = {};  // [b][cw]
+    bool self_neighbor = false;
     std::vector<Channel> candidates;
     std::vector<int> candidate_ordinals;
   };
@@ -121,11 +197,20 @@ class ScanIndex {
   std::vector<ApScan> scans_;
   Dbm floor_;
   std::size_t n_ordinals_ = 0;
+  std::size_t cand_slots_ = 0;
   std::unordered_map<ApId, std::uint32_t> by_id_;
   std::vector<ApRecord> recs_;
   std::vector<Neighbor> nbr_flat_;
   std::vector<std::uint32_t> dep_flat_;
   std::vector<ChannelStats> stats_;
+  // SoA scoring block storage (see ScoreBlock): one sentinel-terminated
+  // per-candidate offset array plus flat parallel term arrays.
+  std::vector<std::uint32_t> cand_term_begin_;
+  std::vector<double> term_load_;
+  std::vector<double> term_ext_;
+  std::vector<double> term_qual_;
+  std::vector<double> term_width_;
+  std::vector<std::int16_t> term_sub_;
 };
 
 }  // namespace w11::flowsim

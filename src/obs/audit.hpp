@@ -33,6 +33,17 @@ struct NodePTerm {
   double log_term = 0.0;   // load * log(metric) contribution to log NodeP
 };
 
+// The log NodeP a term breakdown describes, folded in breakdown order —
+// the same b-ascending accumulation node_p_log and the batched SoA kernel
+// use, so for a full breakdown the result is bit-for-bit the score the
+// optimizer acted on (tests/test_score_kernel.cpp pins all three equal).
+// Any other summation order is NOT guaranteed to reproduce the bits.
+inline double sum_log_terms(const std::vector<NodePTerm>& terms) {
+  double log_p = 0.0;
+  for (const NodePTerm& t : terms) log_p += t.log_term;
+  return log_p;
+}
+
 // One committed ACC decision.
 struct PickRecord {
   std::uint32_t round = 0;  // NBO round within the run

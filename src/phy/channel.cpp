@@ -4,6 +4,12 @@
 
 #include "common/check.hpp"
 
+// The planner's bit-for-bit contracts (golden plan equivalence, audit/kernel
+// parity) do not survive value-unsafe FP transformations.
+#ifdef __FAST_MATH__
+#error "phy/channel.cpp must not be compiled with -ffast-math (determinism)"
+#endif
+
 namespace w11 {
 
 const char* to_string(Band b) {
@@ -165,6 +171,9 @@ struct Geometry {
   std::vector<std::array<std::int16_t, kWidths>> sub;
   // Pairwise Channel::overlaps, row-major over ordinals.
   std::vector<std::uint8_t> overlap;
+  // Same relation as one bit per column: bit b of overlap_bits[a] is
+  // overlap[a][b]. The scoring kernel's contender test is one shift+and.
+  std::vector<std::uint64_t> overlap_bits;
 
   Geometry() {
     std::fill_n(&ord[0][0][0], 2 * kWidths * (kMaxNumber + 1),
@@ -207,10 +216,15 @@ struct Geometry {
         sub[i][static_cast<std::size_t>(w)] = s;
       }
     }
+    W11_CHECK(catalog.size() <= kMaxCatalogOrdinals);
     overlap.assign(catalog.size() * catalog.size(), 0);
+    overlap_bits.assign(catalog.size(), 0);
     for (std::size_t a = 0; a < catalog.size(); ++a)
-      for (std::size_t b = 0; b < catalog.size(); ++b)
-        overlap[a * catalog.size() + b] = catalog[a].overlaps(catalog[b]);
+      for (std::size_t b = 0; b < catalog.size(); ++b) {
+        const bool o = catalog[a].overlaps(catalog[b]);
+        overlap[a * catalog.size() + b] = o;
+        if (o) overlap_bits[a] |= std::uint64_t{1} << b;
+      }
   }
 };
 
@@ -262,6 +276,18 @@ bool overlaps_ordinal(int a, int b) {
   return g.overlap[static_cast<std::size_t>(a) * g.catalog.size() +
                    static_cast<std::size_t>(b)] != 0;
 }
+
+std::uint64_t overlap_mask(int ord) {
+  const Geometry& g = geo();
+  W11_CHECK(ord >= 0 && static_cast<std::size_t>(ord) < g.catalog.size());
+  return g.overlap_bits[static_cast<std::size_t>(ord)];
+}
+
+const std::uint64_t* overlap_masks() { return geo().overlap_bits.data(); }
+
+const std::int16_t* sub_channel_table() { return geo().sub.front().data(); }
+
+std::size_t sub_channel_stride() { return kWidths; }
 
 }  // namespace channels
 

@@ -112,6 +112,27 @@ namespace channels {
 // Precomputed Channel::overlaps over catalog ordinals.
 [[nodiscard]] bool overlaps_ordinal(int a, int b);
 
+// ---- flat scoring-kernel tables -----------------------------------------
+// The batched NodeP kernel (DESIGN.md §14) walks candidate blocks with no
+// per-candidate geometry calls: overlap tests collapse to one bit probe in
+// a per-ordinal mask and sub-channel resolution to one row read. The whole
+// catalog fits in 64 ordinals by construction (static-checked at build).
+
+// Upper bound on catalog_size(): lets overlap sets live in one uint64 and
+// kernel scratch live on the stack.
+inline constexpr std::size_t kMaxCatalogOrdinals = 64;
+
+// Bit `b` of overlap_mask(a) is overlaps_ordinal(a, b).
+[[nodiscard]] std::uint64_t overlap_mask(int ord);
+// The full mask table, indexed by ordinal (size catalog_size()).
+[[nodiscard]] const std::uint64_t* overlap_masks();
+
+// Row-major (ordinal, width) -> sub-channel ordinal table with stride
+// sub_channel_stride(); sub_channel_table()[ord * stride + w] equals
+// sub_channel_ordinal(ord, ChannelWidth(w)).
+[[nodiscard]] const std::int16_t* sub_channel_table();
+[[nodiscard]] std::size_t sub_channel_stride();
+
 }  // namespace channels
 
 }  // namespace w11

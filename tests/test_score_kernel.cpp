@@ -1,0 +1,320 @@
+// Parity and determinism tests for the batched SoA scoring kernel
+// (DESIGN.md §14): PlanContext::score_candidates / add_neighbor_scores must
+// be bit-for-bit equal to the scalar node_p_log path on every input —
+// including the kNodePLogFloor clamp, ψ overlays, trial moves, degenerate
+// self-neighbor scans and non-catalog channels — plus the audit term-sum
+// parity, the ScanStatsCache reuse contract, and a golden NetP digest
+// pinning cross-build FP determinism.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/turboca/plan_context.hpp"
+#include "core/turboca/turboca.hpp"
+#include "flowsim/scan_index.hpp"
+#include "obs/audit.hpp"
+#include "workload/topology.hpp"
+
+namespace w11 {
+namespace {
+
+using turboca::Params;
+using turboca::PlanContext;
+using turboca::PsiSet;
+
+std::vector<ApScan> campus_scans(int n_aps, std::uint64_t seed) {
+  workload::CampusConfig cc;
+  cc.n_aps = n_aps;
+  cc.buildings = std::max(2, n_aps / 10);
+  cc.seed = static_cast<std::uint32_t>(seed);
+  return workload::make_campus(cc)->scan();
+}
+
+// A deliberately hostile random fleet: mixed bands and widths, loads that
+// straddle zero (empty-AP rule), qualities/external utils spanning the
+// metric floor, RSSIs straddling the contender floor, non-catalog current
+// channels, and (optionally) an AP that reports itself as a neighbor.
+std::vector<ApScan> hostile_scans(int n_aps, Rng& rng, bool self_neighbor) {
+  std::vector<ApScan> scans;
+  scans.reserve(static_cast<std::size_t>(n_aps));
+  const auto cat20 = channels::us_catalog(Band::G5, ChannelWidth::MHz20);
+  const auto cat80 = channels::us_catalog(Band::G5, ChannelWidth::MHz80);
+  for (int i = 0; i < n_aps; ++i) {
+    ApScan s;
+    s.id = ApId{static_cast<std::uint32_t>(i)};
+    const bool g24 = rng.uniform() < 0.2;
+    s.band = g24 ? Band::G2_4 : Band::G5;
+    s.max_width = g24 ? ChannelWidth::MHz20
+                      : static_cast<ChannelWidth>(rng.uniform_int(0, 3));
+    const double r = rng.uniform();
+    if (g24) {
+      s.current = Channel{Band::G2_4, static_cast<int>(rng.uniform_int(1, 11)),
+                          ChannelWidth::MHz20};
+    } else if (r < 0.1) {
+      // Non-catalog current channel: exercises the ordinal==-1 scalar
+      // fallback slot (number 33 is not a US catalog channel).
+      s.current = Channel{Band::G5, 33, ChannelWidth::MHz20};
+    } else if (r < 0.5) {
+      s.current = cat20[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cat20.size()) - 1))];
+    } else {
+      s.current = cat80[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cat80.size()) - 1))];
+    }
+    s.dfs_capable = rng.uniform() < 0.5;
+    s.has_clients = rng.uniform() < 0.8;
+    if (s.has_clients) {
+      for (int w = 0; w <= static_cast<int>(s.max_width); ++w)
+        if (rng.uniform() < 0.7)
+          s.load_by_width[static_cast<ChannelWidth>(w)] = rng.uniform(0.0, 4.0);
+    }
+    s.utilization_current = rng.uniform();
+    for (int comp = 1; comp <= 165; comp += 2) {
+      if (rng.uniform() < 0.3) s.external_util[comp] = rng.uniform();
+      // Qualities down to 0.0 push metrics through the 1e-12 floor.
+      if (rng.uniform() < 0.3) s.quality[comp] = rng.uniform(0.0, 1.0);
+    }
+    const int n_nbrs = static_cast<int>(rng.uniform_int(0, 6));
+    for (int k = 0; k < n_nbrs; ++k)
+      s.neighbors.push_back(
+          NeighborReport{ApId{static_cast<std::uint32_t>(
+                             rng.uniform_int(0, n_aps - 1))},
+                         rng.uniform(-100.0, -40.0)});
+    if (self_neighbor && i == 0)
+      s.neighbors.push_back(NeighborReport{s.id, -50.0});
+    scans.push_back(std::move(s));
+  }
+  return scans;
+}
+
+// The scalar oracle for one candidate slot: exactly what the kernel
+// contract in plan_context.hpp promises out[k] equals.
+double scalar_score(const PlanContext& ctx, std::size_t i, std::size_t k,
+                    const PsiSet* psi) {
+  const flowsim::ScanIndex& index = ctx.index();
+  const PlanContext::TrialMove trial{i, index.candidates(i)[k],
+                                     index.candidate_ordinals(i)[k]};
+  return ctx.node_p_log(i, index.candidates(i)[k], psi, &trial);
+}
+
+void expect_kernel_parity(const flowsim::ScanIndex& index, const Params& params,
+                          const ChannelPlan& plan, const PsiSet* psi) {
+  const PlanContext ctx(index, params, plan);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    const std::size_t n_cands = index.candidates(i).size();
+    std::vector<double> got(n_cands);
+    ctx.score_candidates(i, got, psi);
+    for (std::size_t k = 0; k < n_cands; ++k) {
+      const double want = scalar_score(ctx, i, k, psi);
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(got[k]),
+                std::bit_cast<std::uint64_t>(want))
+          << "own-term mismatch ap=" << i << " cand=" << k << " got=" << got[k]
+          << " want=" << want;
+    }
+
+    // Neighbor legs: accumulate like ACC does and compare against the full
+    // scalar sum (own + every affected neighbor, scan-report order).
+    for (const flowsim::ScanIndex::Neighbor& nb : index.neighbors(i)) {
+      if (psi != nullptr && psi->contains(nb.index)) continue;
+      ctx.add_neighbor_scores(nb.index, i, psi, got);
+    }
+    for (std::size_t k = 0; k < n_cands; ++k) {
+      const PlanContext::TrialMove trial{i, index.candidates(i)[k],
+                                         index.candidate_ordinals(i)[k]};
+      double want = ctx.node_p_log(i, index.candidates(i)[k], psi, &trial);
+      for (const flowsim::ScanIndex::Neighbor& nb : index.neighbors(i)) {
+        if (psi != nullptr && psi->contains(nb.index)) continue;
+        const Channel& nc =
+            nb.index == i ? index.candidates(i)[k] : ctx.channel_of(nb.index);
+        want += ctx.node_p_log(nb.index, nc, psi, &trial);
+      }
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(got[k]),
+                std::bit_cast<std::uint64_t>(want))
+          << "acc-sum mismatch ap=" << i << " cand=" << k;
+    }
+  }
+}
+
+TEST(ScoreKernel, MatchesScalarOnCampusFleet) {
+  const Params params;
+  const flowsim::ScanIndex index(campus_scans(60, 5),
+                                 params.neighbor_rssi_floor);
+  ChannelPlan plan;
+  for (const auto& s : index.scans()) plan[s.id] = s.current;
+  expect_kernel_parity(index, params, plan, nullptr);
+}
+
+TEST(ScoreKernel, MatchesScalarOnRandomizedHostileFleets) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 977);
+    const bool self_nb = seed % 3 == 0;
+    Params params;
+    params.switch_penalty = rng.uniform(0.0, 0.3);
+    params.empty_ap_load = rng.uniform(0.0, 0.5);
+    params.high_util_threshold = rng.uniform(0.3, 0.95);
+    const flowsim::ScanIndex index(hostile_scans(24, rng, self_nb),
+                                   params.neighbor_rssi_floor);
+
+    // Random plan: most APs stay, some move to a random candidate.
+    ChannelPlan plan;
+    for (std::size_t i = 0; i < index.size(); ++i) {
+      const ApScan& s = index.scan(i);
+      const auto& cands = index.candidates(i);
+      plan[s.id] = rng.uniform() < 0.5
+                       ? s.current
+                       : cands[static_cast<std::size_t>(rng.uniform_int(
+                             0, static_cast<std::int64_t>(cands.size()) - 1))];
+    }
+
+    // Random ψ overlay (the in-flight set ACC excludes from contention).
+    PsiSet psi(index.size());
+    for (std::size_t i = 0; i < index.size(); ++i)
+      if (rng.uniform() < 0.25) psi.insert(i);
+
+    expect_kernel_parity(index, params, plan, nullptr);
+    expect_kernel_parity(index, params, plan, &psi);
+  }
+}
+
+TEST(ScoreKernel, FloorClampMatchesScalarBitForBit) {
+  // Saturate every component: airtime * quality - penalty <= 0 everywhere,
+  // so every term takes the kNodePLogFloor branch in both paths.
+  std::vector<ApScan> scans = campus_scans(12, 9);
+  for (ApScan& s : scans)
+    for (int comp = 1; comp <= 165; ++comp) {
+      s.external_util[comp] = 1.0;
+      s.quality[comp] = 0.0;
+    }
+  const Params params;
+  const flowsim::ScanIndex index(std::move(scans), params.neighbor_rssi_floor);
+  ChannelPlan plan;
+  for (const auto& s : index.scans()) plan[s.id] = s.current;
+  const PlanContext ctx(index, params, plan);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    std::vector<double> got(index.candidates(i).size());
+    ctx.score_candidates(i, got, nullptr);
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(got[k]),
+                std::bit_cast<std::uint64_t>(scalar_score(ctx, i, k, nullptr)));
+      // The clamp actually fired: the score is a ±load·kNodePLogFloor sum.
+      EXPECT_LT(got[k], 0.0);
+    }
+  }
+}
+
+TEST(ScoreKernel, AuditTermBreakdownSumsToKernelScore) {
+  // The obs PlanAudit breakdown stays on the scalar path; its per-width
+  // log_term entries must sum (in order) to exactly the kernel's score for
+  // the same (AP, channel) when no trial interferes (no self-neighbors on
+  // the campus fleet, and the self-trial is a no-op there).
+  const Params params;
+  const flowsim::ScanIndex index(campus_scans(40, 11),
+                                 params.neighbor_rssi_floor);
+  ChannelPlan plan;
+  for (const auto& s : index.scans()) plan[s.id] = s.current;
+  PlanContext ctx(index, params, plan);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    ASSERT_FALSE(index.has_self_neighbor(i));
+    std::vector<double> got(index.candidates(i).size());
+    ctx.score_candidates(i, got, nullptr);
+    for (std::size_t k = 0; k < got.size(); ++k) {
+      std::vector<obs::NodePTerm> terms;
+      const double scalar =
+          ctx.node_p_log_terms(i, index.candidates(i)[k], &terms);
+      const double sum = obs::sum_log_terms(terms);
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(scalar),
+                std::bit_cast<std::uint64_t>(sum));
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(got[k]),
+                std::bit_cast<std::uint64_t>(scalar));
+    }
+  }
+}
+
+TEST(ScoreKernel, StatsCacheHitsAreBitIdentical) {
+  const Params params;
+  const std::vector<ApScan> scans = campus_scans(30, 13);
+  flowsim::ScanStatsCache cache;
+  const flowsim::ScanIndex cold(scans, params.neighbor_rssi_floor, nullptr,
+                                &cache);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, scans.size());
+
+  const flowsim::ScanIndex warm(scans, params.neighbor_rssi_floor, nullptr,
+                                &cache);
+  EXPECT_EQ(cache.stats().hits, scans.size());
+  const std::size_t n_ords = channels::catalog_size();
+  for (std::size_t i = 0; i < scans.size(); ++i)
+    for (std::size_t o = 0; o < n_ords; ++o) {
+      const auto& a = cold.stats(i, static_cast<int>(o));
+      const auto& b = warm.stats(i, static_cast<int>(o));
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(a.external_util),
+                std::bit_cast<std::uint64_t>(b.external_util));
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(a.quality),
+                std::bit_cast<std::uint64_t>(b.quality));
+    }
+}
+
+TEST(ScoreKernel, StatsCacheMissesOnContentChangeOnly) {
+  const Params params;
+  std::vector<ApScan> scans = campus_scans(20, 17);
+  flowsim::ScanStatsCache cache;
+  { const flowsim::ScanIndex i0(scans, params.neighbor_rssi_floor, nullptr,
+                                &cache); }
+  // Mutating fields the aggregates do not read (loads, neighbors) keeps
+  // every row a hit; touching one AP's spectrum misses exactly that AP.
+  scans[3].load_by_width[ChannelWidth::MHz20] += 1.0;
+  scans[5].neighbors.push_back(NeighborReport{scans[0].id, -55.0});
+  { const flowsim::ScanIndex i1(scans, params.neighbor_rssi_floor, nullptr,
+                                &cache); }
+  EXPECT_EQ(cache.stats().hits, scans.size());
+  EXPECT_EQ(cache.stats().misses, scans.size());
+
+  scans[7].external_util[36] = 0.77;
+  { const flowsim::ScanIndex i2(scans, params.neighbor_rssi_floor, nullptr,
+                                &cache); }
+  EXPECT_EQ(cache.stats().hits, 2 * scans.size() - 1);
+  EXPECT_EQ(cache.stats().misses, scans.size() + 1);
+}
+
+TEST(ScoreKernel, StatsCacheRespectsCapacity) {
+  const Params params;
+  // Hostile fleet: every AP's spectrum content is distinct (random maps),
+  // so 20 APs want 20 cache rows against a capacity of 4.
+  Rng rng(23);
+  const std::vector<ApScan> scans = hostile_scans(20, rng, false);
+  flowsim::ScanStatsCache cache(/*capacity=*/4);
+  { const flowsim::ScanIndex i0(scans, params.neighbor_rssi_floor, nullptr,
+                                &cache); }
+  EXPECT_GT(cache.stats().full_skips, 0u);
+  // Still correct, just smaller: a second build hits on the retained rows.
+  { const flowsim::ScanIndex i1(scans, params.neighbor_rssi_floor, nullptr,
+                                &cache); }
+  EXPECT_GE(cache.stats().hits, 4u);
+}
+
+// Golden NetP digest (determinism guard): the exact bits of net_p_log on a
+// fixed fleet. Catches value-unsafe FP creeping into the build (fast-math,
+// reassociation) and silent arithmetic drift in refactors. If this fails
+// after an INTENTIONAL metric change, regenerate the constant by running
+// the test and copying the printed actual digest. Depends on the host
+// libm's log() rounding; the CI toolchain pins one implementation.
+TEST(ScoreKernel, GoldenNetPDigest) {
+  const Params params;
+  const flowsim::ScanIndex index(campus_scans(60, 5),
+                                 params.neighbor_rssi_floor);
+  ChannelPlan plan;
+  for (const auto& s : index.scans()) plan[s.id] = s.current;
+  PlanContext ctx(index, params, plan);
+  const double netp = ctx.net_p_log();
+  constexpr std::uint64_t kGoldenDigest = 0x4077e0e9ad303ae6ULL;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(netp), kGoldenDigest)
+      << "NetP bits changed: actual digest 0x" << std::hex
+      << std::bit_cast<std::uint64_t>(netp) << " value " << netp;
+}
+
+}  // namespace
+}  // namespace w11
