@@ -1,0 +1,34 @@
+#include "ctrl/fanout.hpp"
+
+#include <utility>
+
+#include "obs/gate.hpp"
+
+namespace w11::ctrl {
+
+std::uint64_t PlanFanout::commit(std::uint32_t campus_key, ChannelPlan plan,
+                                 double netp_log, Time at) {
+  auto it = stores_.find(campus_key);
+  if (it == stores_.end()) {
+    it = stores_.emplace(campus_key, PlanStore(cfg_.max_history)).first;
+    ++stats_.campuses_seen;
+    W11_COUNT("ctrl.fanout.campus");
+  }
+  const std::uint64_t version = it->second.commit(std::move(plan), netp_log, at);
+  if (cfg_.mark_good_on_commit) it->second.mark_good(version);
+  ++stats_.plans_committed;
+  W11_COUNT("ctrl.fanout.commit");
+  return version;
+}
+
+const PlanStore* PlanFanout::store(std::uint32_t campus_key) const {
+  const auto it = stores_.find(campus_key);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+PlanStore* PlanFanout::store_mut(std::uint32_t campus_key) {
+  const auto it = stores_.find(campus_key);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+}  // namespace w11::ctrl

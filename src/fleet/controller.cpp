@@ -1,0 +1,241 @@
+#include "fleet/controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "obs/gate.hpp"
+
+namespace w11::fleet {
+
+namespace {
+
+void fnv_mix(std::uint64_t& h, const void* p, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+}
+
+template <class T>
+void fnv_mix_value(std::uint64_t& h, T v) {
+  fnv_mix(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+FleetController::FleetController(Config cfg)
+    : cfg_(cfg),
+      shard_(cfg.seed),
+      ingest_(cfg.ingest_capacity),
+      out_(cfg.output_capacity),
+      scheduler_(cfg.cadence, cfg.seed) {}
+
+bool FleetController::offer_epoch(ScanEpoch epoch) {
+  const bool accepted = ingest_.try_push(std::move(epoch));
+  if (!accepted) W11_COUNT("fleet.epochs_dropped");
+  return accepted;
+}
+
+void FleetController::adopt_epoch(ScanEpoch epoch, Time now) {
+  FleetPartition part =
+      partition_fleet(epoch.scans, cfg_.planner.neighbor_rssi_floor);
+  fleet_aps_ = part.total_aps;
+  last_epoch_at_ = epoch.taken_at;
+
+  // Rebuild campus state, carrying the stats cache and firing ordinal of
+  // campuses that persisted (the cross-epoch aggregate reuse is the point
+  // of the cache). Keys absent from this epoch drop their state.
+  std::map<std::uint32_t, CampusState> next;
+  std::vector<std::uint32_t> keys;
+  keys.reserve(part.campuses.size());
+  for (Campus& campus : part.campuses) {
+    keys.push_back(campus.key);
+    CampusState st;
+    const auto prev = state_.find(campus.key);
+    if (prev != state_.end()) {
+      st.cache = std::move(prev->second.cache);
+      st.runs = prev->second.runs;
+    } else {
+      st.cache =
+          std::make_unique<flowsim::ScanStatsCache>(cfg_.stats_cache_capacity);
+    }
+    st.scans = std::move(campus.scans);
+    next.emplace(campus.key, std::move(st));
+  }
+  state_ = std::move(next);
+  scheduler_.sync(keys, now);
+
+  // Prune assignments for APs that left the fleet, and seed currents for
+  // APs never planned, so fleet_plan() always covers exactly this epoch.
+  ChannelPlan pruned;
+  for (const auto& [key, st] : state_) {
+    for (const ApScan& s : st.scans) {
+      const auto it = planned_.find(s.id);
+      pruned.emplace(s.id, it != planned_.end() ? it->second : s.current);
+    }
+  }
+  planned_ = std::move(pruned);
+
+  ++stats_.epochs_adopted;
+  W11_COUNT("fleet.epochs_adopted");
+}
+
+CampusPlanOutput FleetController::run_job(const PlanJob& job,
+                                          const CampusState& cs,
+                                          std::uint64_t stream,
+                                          Time now) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  CampusPlanOutput out;
+  out.campus_key = job.campus_key;
+  out.tier = job.tier;
+  out.planned_at = now;
+  out.n_aps = static_cast<std::uint32_t>(cs.scans.size());
+
+  // The campus's slice of the fleet assignment of record (fallback to the
+  // scanned current for APs the record somehow misses).
+  ChannelPlan current;
+  for (const ApScan& s : cs.scans) {
+    const auto it = planned_.find(s.id);
+    current.emplace(s.id, it != planned_.end() ? it->second : s.current);
+  }
+
+  turboca::TurboCA engine(cfg_.planner, shard_.rng_for(stream));
+  engine.set_pool(cfg_.pool);
+  // One index per firing, shared across the tier's hop levels; the stats
+  // cache makes unchanged spectrum rows a copy instead of a recompute.
+  flowsim::ScanIndex index(cs.scans, cfg_.planner.neighbor_rssi_floor,
+                           cfg_.pool, cs.cache.get());
+  for (const int level : tier_levels(job.tier)) {
+    turboca::TurboCA::RunResult r = engine.run(index, current, level);
+    out.improved = out.improved || r.improved;
+    out.netp_log = r.netp_log;
+    current = std::move(r.plan);
+  }
+  out.plan = std::move(current);
+  out.plan_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+void FleetController::tick(Time now) {
+  ++stats_.ticks;
+  W11_COUNT("fleet.ticks");
+
+  // Drain the ingest queue; adopt the newest census, count the rest as
+  // superseded (an older epoch behind a newer one carries no information
+  // the planner should act on).
+  std::optional<ScanEpoch> newest;
+  while (std::optional<ScanEpoch> e = ingest_.try_pop()) {
+    if (!newest || e->taken_at > newest->taken_at) {
+      if (newest) ++stats_.epochs_superseded;
+      newest = std::move(e);
+    } else {
+      ++stats_.epochs_superseded;
+    }
+  }
+  if (newest) {
+    if (newest->taken_at > last_epoch_at_) {
+      adopt_epoch(std::move(*newest), now);
+    } else {
+      ++stats_.epochs_superseded;  // stale vs the already-adopted census
+    }
+  }
+
+  // Due jobs in priority order, cut to the output queue's free slots —
+  // backpressure defers the tail deterministically (a deferred job keeps
+  // its anchors and stays due next tick).
+  std::vector<PlanJob> jobs = scheduler_.due(now);
+  const std::size_t budget = out_.free_slots();
+  if (jobs.size() > budget) {
+    stats_.jobs_deferred += jobs.size() - budget;
+    W11_COUNT_N("fleet.jobs_deferred", jobs.size() - budget);
+    jobs.resize(budget);
+  }
+
+  if (!jobs.empty()) {
+    // Serial prep: resolve campus state and derive each job's RNG stream
+    // from (campus key, firing ordinal) — a pure function of the adopted
+    // history, independent of worker count and interleaving.
+    struct JobCtx {
+      const PlanJob* job = nullptr;
+      const CampusState* cs = nullptr;
+      std::uint64_t stream = 0;
+    };
+    std::vector<JobCtx> ctx;
+    ctx.reserve(jobs.size());
+    for (const PlanJob& job : jobs) {
+      const auto it = state_.find(job.campus_key);
+      if (it == state_.end()) continue;  // dropped between sync and now
+      JobCtx c;
+      c.job = &job;
+      c.cs = &it->second;
+      c.stream = rng_detail::mix_seed(job.campus_key, it->second.runs);
+      ++it->second.runs;
+      ctx.push_back(c);
+    }
+
+    // One pool task per campus job. Tasks touch disjoint campus state
+    // (scans, stats cache) plus read-only shared state (config, planned_).
+    std::vector<CampusPlanOutput> outputs =
+        pool().parallel_map<CampusPlanOutput>(ctx.size(), [&](std::size_t i) {
+          return run_job(*ctx[i].job, *ctx[i].cs, ctx[i].stream, now);
+        });
+
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      // Space was reserved by the budget cut; a reject here is a logic bug.
+      const bool pushed = out_.try_push(std::move(outputs[i]));
+      W11_CHECK_MSG(pushed, "fleet output queue overflowed its budget");
+      scheduler_.fired(*ctx[i].job, now);
+      ++stats_.jobs_run;
+      if (ctx[i].job->tier == Tier::kReplan) ++stats_.replans_run;
+      W11_COUNT("fleet.jobs_run");
+    }
+  }
+
+  drain_outputs();
+
+  // Roll the per-campus cache counters up into the controller stats.
+  stats_.cache_hits = stats_.cache_misses = stats_.cache_evictions = 0;
+  for (const auto& [key, st] : state_) {
+    const flowsim::ScanStatsCache::Stats& cs = st.cache->stats();
+    stats_.cache_hits += cs.hits;
+    stats_.cache_misses += cs.misses;
+    stats_.cache_evictions += cs.evictions;
+  }
+}
+
+void FleetController::drain_outputs() {
+  while (std::optional<CampusPlanOutput> out = out_.try_pop()) {
+    for (const auto& [id, ch] : out->plan) planned_[id] = ch;
+    fold_digest(*out);
+    ++stats_.plans_delivered;
+    if (out->improved) ++stats_.plans_improved;
+    stats_.aps_planned += out->n_aps;
+    W11_COUNT("fleet.plans_delivered");
+    W11_COUNT_N("fleet.aps_planned", out->n_aps);
+    if (sink_) sink_(*out);
+  }
+}
+
+void FleetController::fold_digest(const CampusPlanOutput& out) {
+  fnv_mix_value(digest_, out.campus_key);
+  fnv_mix_value(digest_, static_cast<std::uint8_t>(out.tier));
+  fnv_mix_value(digest_, out.planned_at.ns());
+  fnv_mix_value(digest_, out.n_aps);
+  for (const auto& [id, ch] : out.plan) {
+    fnv_mix_value(digest_, id.value());
+    fnv_mix_value(digest_, static_cast<std::uint8_t>(ch.band));
+    fnv_mix_value(digest_, static_cast<std::int32_t>(ch.number));
+    fnv_mix_value(digest_, static_cast<std::uint8_t>(ch.width));
+  }
+  std::uint64_t netp_bits = 0;
+  static_assert(sizeof(netp_bits) == sizeof(out.netp_log));
+  std::memcpy(&netp_bits, &out.netp_log, sizeof(netp_bits));
+  fnv_mix_value(digest_, netp_bits);
+}
+
+}  // namespace w11::fleet

@@ -1,0 +1,169 @@
+#pragma once
+// FleetController: the sharded planning pipeline (DESIGN.md §15).
+//
+// One controller plans an entire AP population per cycle:
+//
+//   collector shards --offer_epoch--> [MPMC ingest queue, bounded]
+//        tick(now):
+//          drain ingest (adopt the newest epoch, count superseded)
+//          partition_fleet  -> interference-isolated campuses
+//          CadenceScheduler -> due jobs (replans first), clamped to the
+//                              output queue's free slots (backpressure)
+//          TaskPool         -> one task per campus job: ScanIndex build +
+//                              TurboCA NBO at the tier's hop levels, with a
+//                              per-campus ShardRng stream and a per-campus
+//                              bounded ScanStatsCache
+//          [SPSC output queue, bounded] --drain--> plan sink (PlanFanout /
+//                              telemetry ingest), fleet plan digest
+//
+// Determinism contract: the delivered plan stream — and therefore
+// plan_digest() — is a pure function of (config seed, the sequence of
+// adopted epochs, the tick times). Campus jobs are independent by the
+// partition isolation argument, each draws from its own (campus key, run
+// ordinal) RNG stream, outputs are pushed in job order, and every serial
+// decision (adoption, partition, scheduling, backpressure cuts) happens on
+// the ticking thread. Worker count changes wall-clock only.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/turboca/turboca.hpp"
+#include "exec/shard_rng.hpp"
+#include "exec/task_pool.hpp"
+#include "fleet/partition.hpp"
+#include "fleet/queues.hpp"
+#include "fleet/scheduler.hpp"
+#include "flowsim/scan.hpp"
+#include "flowsim/scan_index.hpp"
+
+namespace w11::fleet {
+
+// One population-wide scan census, as a collector shard delivers it.
+struct ScanEpoch {
+  Time taken_at{};
+  std::vector<ApScan> scans;
+};
+
+// One campus planning result, as drained from the output queue.
+struct CampusPlanOutput {
+  std::uint32_t campus_key = 0;
+  Tier tier = Tier::kFast;
+  Time planned_at{};
+  std::uint32_t n_aps = 0;
+  ChannelPlan plan;
+  double netp_log = 0.0;
+  bool improved = false;
+  // Wall-clock seconds the planning task took (per-campus plan latency).
+  // Measurement only — never part of the plan digest.
+  double plan_seconds = 0.0;
+};
+
+class FleetController {
+ public:
+  struct Config {
+    turboca::Params planner;  // neighbor_rssi_floor also drives partitioning
+    CadenceScheduler::Cadence cadence;
+    std::uint64_t seed = 1;
+    std::size_t ingest_capacity = 16;    // scan epochs buffered
+    std::size_t output_capacity = 4096;  // campus plans buffered per tick
+    // Per-campus spectrum-aggregate cache bound (0 disables reuse).
+    std::size_t stats_cache_capacity = 256;
+    exec::TaskPool* pool = nullptr;  // nullptr = TaskPool::global()
+  };
+
+  struct Stats {
+    std::uint64_t ticks = 0;
+    std::uint64_t epochs_adopted = 0;
+    std::uint64_t epochs_superseded = 0;  // drained but older than the adopted
+    std::uint64_t jobs_run = 0;
+    std::uint64_t jobs_deferred = 0;  // due but cut by output backpressure
+    std::uint64_t replans_run = 0;
+    std::uint64_t plans_delivered = 0;
+    std::uint64_t plans_improved = 0;
+    std::uint64_t aps_planned = 0;  // summed over delivered plans
+    std::uint64_t cache_hits = 0;   // summed over campus stats caches
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
+  };
+
+  // Delivery hook for drained plans (rollout fanout, telemetry ingest).
+  // Called on the ticking thread, in job order.
+  using PlanSink = std::function<void(const CampusPlanOutput&)>;
+
+  explicit FleetController(Config cfg);
+
+  // Producer side (thread-safe): offer one scan epoch. False = the bounded
+  // ingest queue was full and the epoch was dropped (the next poll's census
+  // supersedes it anyway — dropping the oldest work is the right shedding).
+  bool offer_epoch(ScanEpoch epoch);
+
+  void set_plan_sink(PlanSink sink) { sink_ = std::move(sink); }
+
+  // Out-of-band priority replan for the campus owning this key.
+  void request_replan(std::uint32_t campus_key) {
+    scheduler_.request_replan(campus_key);
+  }
+
+  // One planning cycle at time `now`. Everything serial happens here.
+  void tick(Time now);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] QueueStats ingest_stats() const { return ingest_.stats(); }
+  [[nodiscard]] QueueStats output_stats() const { return out_.stats(); }
+  [[nodiscard]] const CadenceScheduler& scheduler() const { return scheduler_; }
+  [[nodiscard]] std::size_t campus_count() const { return state_.size(); }
+  [[nodiscard]] std::size_t fleet_aps() const { return fleet_aps_; }
+
+  // FNV-1a over every delivered plan, in delivery order: campus key, tier,
+  // plan timestamp, each (ApId, band, number, width) assignment, and the
+  // netp_log bits. The worker-count byte-equivalence witness.
+  [[nodiscard]] std::uint64_t plan_digest() const { return digest_; }
+
+  // The fleet-wide assignment of record (last delivered channel per AP,
+  // seeded from scan currents for never-planned APs).
+  [[nodiscard]] const ChannelPlan& fleet_plan() const { return planned_; }
+
+  // Visit every tracked campus (ascending key) with its latest epoch slice
+  // — the per-campus telemetry poll reads through this.
+  template <class F>
+  void for_each_campus(F&& fn) const {
+    for (const auto& [key, st] : state_) fn(key, st.scans);
+  }
+
+ private:
+  struct CampusState {
+    std::vector<ApScan> scans;  // latest adopted epoch, epoch order
+    std::unique_ptr<flowsim::ScanStatsCache> cache;
+    std::uint64_t runs = 0;  // firing ordinal (RNG stream derivation)
+  };
+
+  [[nodiscard]] exec::TaskPool& pool() const {
+    return cfg_.pool ? *cfg_.pool : exec::TaskPool::global();
+  }
+
+  void adopt_epoch(ScanEpoch epoch, Time now);
+  [[nodiscard]] CampusPlanOutput run_job(const PlanJob& job,
+                                         const CampusState& cs,
+                                         std::uint64_t stream, Time now) const;
+  void drain_outputs();
+  void fold_digest(const CampusPlanOutput& out);
+
+  Config cfg_;
+  exec::ShardRng shard_;
+  MpmcQueue<ScanEpoch> ingest_;
+  SpscQueue<CampusPlanOutput> out_;
+  CadenceScheduler scheduler_;
+  std::map<std::uint32_t, CampusState> state_;  // key-ordered
+  ChannelPlan planned_;
+  std::size_t fleet_aps_ = 0;
+  Time last_epoch_at_ = time::nanos(-1);  // newest adopted taken_at
+  PlanSink sink_;
+  std::uint64_t digest_ = 1469598103934665603ULL;  // FNV-1a offset basis
+  Stats stats_;
+};
+
+}  // namespace w11::fleet

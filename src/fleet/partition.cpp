@@ -1,0 +1,39 @@
+#include "fleet/partition.hpp"
+
+#include <algorithm>
+
+#include "flowsim/contention.hpp"
+#include "obs/gate.hpp"
+
+namespace w11::fleet {
+
+FleetPartition partition_fleet(const std::vector<ApScan>& scans,
+                               Dbm contender_rssi_floor) {
+  FleetPartition out;
+  out.total_aps = scans.size();
+  if (scans.empty()) return out;
+
+  const flowsim::ContentionComponents cc =
+      flowsim::contender_components(scans, contender_rssi_floor);
+
+  out.campuses.resize(cc.count);
+  for (std::size_t c = 0; c < cc.count; ++c) {
+    Campus& campus = out.campuses[c];
+    const std::vector<std::uint32_t>& members = cc.members[c];
+    campus.scans.reserve(members.size());
+    campus.key = scans[members.front()].id.value();
+    for (const std::uint32_t pos : members) {
+      campus.key = std::min(campus.key, scans[pos].id.value());
+      campus.scans.push_back(scans[pos]);
+    }
+    out.largest_campus = std::max(out.largest_campus, members.size());
+  }
+  std::sort(out.campuses.begin(), out.campuses.end(),
+            [](const Campus& a, const Campus& b) { return a.key < b.key; });
+
+  W11_COUNT_N("fleet.partition.campuses", out.campuses.size());
+  W11_COUNT_N("fleet.partition.aps", out.total_aps);
+  return out;
+}
+
+}  // namespace w11::fleet

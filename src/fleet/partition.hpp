@@ -1,0 +1,46 @@
+#pragma once
+// Campus partitioner: interference-isolated planning units (DESIGN.md §15).
+//
+// A continental fleet is not one planning problem. The planner's coupling
+// structure (see flowsim/contention.hpp) makes connected components of the
+// contender graph *exactly* independent: no NodeP term crosses a component
+// boundary, so planning each component with its own RNG stream produces the
+// plan a fleet-wide run restricted to that component would produce. This
+// module turns one population-wide scan epoch into those units:
+//
+//   * campus key — the minimum ApId value among members. Stable across
+//     epochs as long as that AP stays present, independent of scan order
+//     and of how many other campuses exist; it is the identity the cadence
+//     scheduler and RNG stream derivation hang off.
+//   * members — per-campus scan vectors, in epoch order, so a campus's
+//     planning input is byte-identical to the corresponding slice of the
+//     fleet epoch.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "flowsim/scan.hpp"
+
+namespace w11::fleet {
+
+struct Campus {
+  std::uint32_t key = 0;             // min ApId value among members
+  std::vector<ApScan> scans;         // members, epoch order
+};
+
+struct FleetPartition {
+  // Campuses in ascending key order (deterministic iteration order for
+  // scheduling, digesting and reporting).
+  std::vector<Campus> campuses;
+  std::size_t total_aps = 0;
+  std::size_t largest_campus = 0;
+};
+
+// Partition one scan epoch with the same contender floor the planner will
+// use. Equal epochs give byte-equal partitions at any worker count (the
+// component pass is serial; extraction preserves epoch order).
+[[nodiscard]] FleetPartition partition_fleet(const std::vector<ApScan>& scans,
+                                             Dbm contender_rssi_floor);
+
+}  // namespace w11::fleet

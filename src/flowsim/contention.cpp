@@ -1,0 +1,73 @@
+#include "flowsim/contention.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace w11::flowsim {
+
+namespace {
+
+// Path-halving find: every probe also shortens the chain it walked.
+std::uint32_t find_root(std::vector<std::uint32_t>& parent, std::uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+ContentionComponents contender_components(const std::vector<ApScan>& scans,
+                                          Dbm contender_rssi_floor) {
+  const std::size_t n = scans.size();
+  ContentionComponents out;
+  out.label.resize(n);
+  if (n == 0) return out;
+
+  std::unordered_map<ApId, std::uint32_t> by_id;
+  by_id.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    by_id.emplace(scans[i].id, static_cast<std::uint32_t>(i));
+
+  // Union by size keeps find() near-O(1); the tie-break (smaller root index
+  // wins on equal size) is irrelevant to the output — labels are re-derived
+  // from first-appearance order below — but keeps the walk deterministic.
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  std::vector<std::uint32_t> size(n, 1);
+  auto unite = [&](std::uint32_t a, std::uint32_t b) {
+    a = find_root(parent, a);
+    b = find_root(parent, b);
+    if (a == b) return;
+    if (size[a] < size[b] || (size[a] == size[b] && b < a)) std::swap(a, b);
+    parent[b] = a;
+    size[a] += size[b];
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const NeighborReport& nb : scans[i].neighbors) {
+      const auto it = by_id.find(nb.id);
+      if (it == by_id.end()) continue;               // absent from the epoch
+      if (nb.rssi < contender_rssi_floor) continue;  // ScanIndex's edge rule
+      unite(static_cast<std::uint32_t>(i), it->second);
+    }
+  }
+
+  // Dense labels in first-appearance order.
+  std::unordered_map<std::uint32_t, std::uint32_t> label_of_root;
+  label_of_root.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t root = find_root(parent, static_cast<std::uint32_t>(i));
+    const auto [it, inserted] = label_of_root.emplace(
+        root, static_cast<std::uint32_t>(out.count));
+    if (inserted) ++out.count;
+    out.label[i] = it->second;
+  }
+  out.members.resize(out.count);
+  for (std::size_t i = 0; i < n; ++i)
+    out.members[out.label[i]].push_back(static_cast<std::uint32_t>(i));
+  return out;
+}
+
+}  // namespace w11::flowsim

@@ -1,0 +1,43 @@
+#pragma once
+// Contention-graph extraction over one scan epoch (fleet layer input).
+//
+// The fleet controller partitions a continental-scale AP population into
+// independently plannable campuses. The isolation argument rests on the
+// planner's coupling structure: every NodeP term of AP a reads only a's own
+// spectrum aggregates plus the planned channels of a's *contender* neighbors
+// (rssi >= the contender floor — sub-floor neighbors never enter a
+// contention count, see PlanContext). So two APs in different connected
+// components of the symmetrized contender graph cannot influence each
+// other's scores, and per-component NBO runs compose into exactly the plan
+// a fleet-wide run restricted to that component would produce.
+//
+// Edges here must match ScanIndex adjacency bit-for-bit: a directed
+// contender edge a->b exists when b appears in a's neighbor reports, b is
+// present in the epoch, and !(rssi < floor). Components are taken over the
+// undirected closure (if either side hears the other, their plans couple
+// through that listener's airtime term).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "flowsim/scan.hpp"
+
+namespace w11::flowsim {
+
+// Connected components of the contender graph, deterministically labelled:
+// component ordinals are assigned by first appearance in scan-epoch order,
+// so equal inputs give byte-equal labellings at any worker count (the
+// computation is serial union-find; there is nothing to shard).
+struct ContentionComponents {
+  // label[i] = component ordinal of scans[i]; ordinals are dense [0, count).
+  std::vector<std::uint32_t> label;
+  std::size_t count = 0;
+  // members[c] = scan positions of component c, ascending.
+  std::vector<std::vector<std::uint32_t>> members;
+};
+
+[[nodiscard]] ContentionComponents contender_components(
+    const std::vector<ApScan>& scans, Dbm contender_rssi_floor);
+
+}  // namespace w11::flowsim

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "exec/task_pool.hpp"
+#include "obs/gate.hpp"
 
 // The aggregate rows feed the planner's bit-for-bit contracts (golden plan
 // equivalence, audit/kernel parity); value-unsafe FP breaks them.
@@ -108,7 +109,10 @@ ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor,
   // Cross-epoch aggregate reuse: probe the cache serially (it is not
   // thread-safe), remember per-AP hits, and insert freshly computed rows
   // after the parallel fill. Hit rows are copied inside the task — reads of
-  // immutable cached rows are race-free.
+  // immutable cached rows are race-free. A probe hit also refreshes the
+  // row's LRU position; probes run in scan order, so recency is
+  // deterministic. No map insertion happens between here and the fill, so
+  // the row data pointers stay valid.
   std::vector<const ChannelStats*> cached_row(n, nullptr);
   std::vector<std::uint64_t> row_hash;
   if (stats_cache != nullptr) {
@@ -117,10 +121,14 @@ ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor,
       row_hash[i] = stats_content_hash(scans_[i]);
       const auto it = stats_cache->rows_.find(row_hash[i]);
       if (it != stats_cache->rows_.end()) {
-        cached_row[i] = it->second.data();
+        cached_row[i] = it->second.row.data();
+        stats_cache->lru_.splice(stats_cache->lru_.begin(), stats_cache->lru_,
+                                 it->second.lru_pos);
         ++stats_cache->stats_.hits;
+        W11_COUNT("scan_cache.hits");
       } else {
         ++stats_cache->stats_.misses;
+        W11_COUNT("scan_cache.misses");
       }
     }
   }
@@ -186,17 +194,36 @@ ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor,
     }
   });
 
-  if (stats_cache != nullptr) {
+  if (stats_cache != nullptr && stats_cache->capacity_ > 0) {
+    // Retain the freshly computed rows, evicting least-recently-touched
+    // entries once the bound is hit. Inserts run in scan order on this
+    // thread, so what survives is a pure function of the probe/insert
+    // history — deterministic at any worker count. Duplicate content
+    // within the epoch (two APs with identical spectrum maps) collapses to
+    // one row; the repeat just refreshes recency.
     for (std::size_t i = 0; i < n; ++i) {
       if (cached_row[i] != nullptr) continue;
-      if (stats_cache->rows_.size() >= stats_cache->capacity_) {
-        ++stats_cache->stats_.full_skips;
+      const auto it = stats_cache->rows_.find(row_hash[i]);
+      if (it != stats_cache->rows_.end()) {
+        stats_cache->lru_.splice(stats_cache->lru_.begin(), stats_cache->lru_,
+                                 it->second.lru_pos);
         continue;
       }
+      while (stats_cache->rows_.size() >= stats_cache->capacity_) {
+        stats_cache->rows_.erase(stats_cache->lru_.back());
+        stats_cache->lru_.pop_back();
+        ++stats_cache->stats_.evictions;
+        W11_COUNT("scan_cache.evictions");
+      }
+      stats_cache->lru_.push_front(row_hash[i]);
       stats_cache->rows_.emplace(
           row_hash[i],
-          std::vector<ChannelStats>(stats_.begin() + static_cast<std::ptrdiff_t>(i * n_ordinals_),
-                                    stats_.begin() + static_cast<std::ptrdiff_t>((i + 1) * n_ordinals_)));
+          ScanStatsCache::Entry{
+              std::vector<ChannelStats>(
+                  stats_.begin() + static_cast<std::ptrdiff_t>(i * n_ordinals_),
+                  stats_.begin() +
+                      static_cast<std::ptrdiff_t>((i + 1) * n_ordinals_)),
+              stats_cache->lru_.begin()});
     }
   }
 

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <list>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -52,27 +53,44 @@ struct ScanChannelStats {
 // but most APs' spectrum snapshots are unchanged between firings — the
 // aggregate row (the dominant index-build cost) can be copied instead of
 // recomputed. Rows are immutable once inserted, so a hit is bit-identical
-// to a recompute of the same content. Bounded: once `capacity` distinct
-// rows are held, new rows are still computed but no longer retained.
+// to a recompute of the same content.
+//
+// Bounded by deterministic LRU eviction: a fleet of thousands of distinct
+// campus epochs must not grow the cache without limit, and which rows
+// survive must not depend on scheduling. Probes and inserts happen serially
+// on the index-building thread in scan order, so the recency list — probed
+// rows move to the front, inserts evict from the back once `capacity` rows
+// are resident — is a pure function of the probe/insert history. A row's
+// *contents* never change while resident; eviction only forgets, so a later
+// rebuild recomputes the identical bytes.
 //
 // Not thread-safe; probe/insert happen on the index-building thread only
 // (the parallel stats fill reads rows, which is safe — they never mutate).
 class ScanStatsCache {
  public:
+  // capacity = max resident rows; 0 disables retention entirely (every
+  // probe misses, nothing is stored).
   explicit ScanStatsCache(std::size_t capacity = 65536)
       : capacity_(capacity) {}
 
   struct Stats {
-    std::uint64_t hits = 0;      // AP rows served from the cache
-    std::uint64_t misses = 0;    // AP rows computed fresh
-    std::uint64_t full_skips = 0;  // rows not retained (capacity reached)
+    std::uint64_t hits = 0;       // AP rows served from the cache
+    std::uint64_t misses = 0;     // AP rows computed fresh
+    std::uint64_t evictions = 0;  // rows dropped to admit newer ones
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
   friend class ScanIndex;
+  struct Entry {
+    std::vector<ScanChannelStats> row;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
   std::size_t capacity_;
-  std::unordered_map<std::uint64_t, std::vector<ScanChannelStats>> rows_;
+  std::unordered_map<std::uint64_t, Entry> rows_;
+  std::list<std::uint64_t> lru_;  // front = most recently touched hash
   Stats stats_;
 };
 

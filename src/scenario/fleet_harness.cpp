@@ -1,0 +1,185 @@
+#include "scenario/fleet_harness.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "ctrl/fanout.hpp"
+#include "phy/channel.hpp"
+#include "telemetry/fleet_ingest.hpp"
+
+namespace w11::scenario {
+
+namespace {
+
+// Spectrum snapshot for one AP: a few occupied 20 MHz components with
+// external utilization and quality, plus the measured current-channel
+// utilization. Shared by generation and churn so a churned AP's fields are
+// statistically identical to a fresh one.
+void roll_spectrum(ApScan& s, const std::vector<Channel>& comps, Rng& rng) {
+  s.external_util.clear();
+  s.quality.clear();
+  const int occupied = static_cast<int>(rng.uniform_int(2, 4));
+  for (int k = 0; k < occupied; ++k) {
+    const int num = comps[rng.index(comps.size())].number;
+    s.external_util[num] = rng.uniform(0.0, 0.4);
+    s.quality[num] = rng.uniform(0.6, 1.0);
+  }
+  s.utilization_current = rng.uniform(0.0, 0.5);
+}
+
+}  // namespace
+
+std::vector<ApScan> make_fleet_scans(const FleetPopulationConfig& cfg,
+                                     Time taken_at) {
+  W11_CHECK(cfg.campuses > 0 && cfg.aps_min > 0 && cfg.aps_max >= cfg.aps_min);
+  const Rng root(cfg.seed);
+  const std::vector<Channel> cands =
+      channels::candidate_set(cfg.band, ChannelWidth::MHz40, false);
+  const std::vector<Channel> comps =
+      channels::us_catalog(cfg.band, ChannelWidth::MHz20);
+
+  // Pass 1: campus sizes (so ids can be assigned densely in campus order).
+  std::vector<int> sizes(static_cast<std::size_t>(cfg.campuses));
+  std::size_t total = 0;
+  for (int c = 0; c < cfg.campuses; ++c) {
+    Rng crng = root.fork(static_cast<std::uint64_t>(c));
+    sizes[static_cast<std::size_t>(c)] =
+        static_cast<int>(crng.uniform_int(cfg.aps_min, cfg.aps_max));
+    total += static_cast<std::size_t>(sizes[static_cast<std::size_t>(c)]);
+  }
+
+  std::vector<ApScan> scans;
+  scans.reserve(total);
+  std::vector<std::uint32_t> base(static_cast<std::size_t>(cfg.campuses));
+  std::uint32_t next_id = 0;
+  for (int c = 0; c < cfg.campuses; ++c) {
+    base[static_cast<std::size_t>(c)] = next_id;
+    // Re-fork so the size draw above doesn't shift the content stream.
+    Rng crng = root.fork(static_cast<std::uint64_t>(c)).fork(1);
+    const int n = sizes[static_cast<std::size_t>(c)];
+    for (int i = 0; i < n; ++i) {
+      ApScan s;
+      s.id = ApId(next_id + static_cast<std::uint32_t>(i));
+      s.band = cfg.band;
+      s.current = cands[crng.index(cands.size())];
+      s.max_width = ChannelWidth::MHz80;
+      s.has_clients = crng.bernoulli(0.7);
+      s.dfs_capable = true;
+      s.load_by_width[ChannelWidth::MHz20] = crng.uniform(0.05, 0.3);
+      if (crng.bernoulli(0.5))
+        s.load_by_width[ChannelWidth::MHz40] = crng.uniform(0.05, 0.4);
+      roll_spectrum(s, comps, crng);
+      s.taken_at = taken_at;
+      scans.push_back(std::move(s));
+    }
+
+    // Contender chain backbone: i <-> i+1 at well-above-floor RSSI keeps
+    // the campus one connected component.
+    for (int i = 0; i + 1 < n; ++i) {
+      const Dbm rssi = crng.uniform(-78.0, -50.0);
+      const std::uint32_t a = next_id + static_cast<std::uint32_t>(i);
+      const std::uint32_t b = a + 1;
+      scans[a].neighbors.push_back(NeighborReport{ApId(b), rssi});
+      scans[b].neighbors.push_back(NeighborReport{ApId(a), rssi});
+    }
+    if (cfg.shape == FleetPopulationConfig::Shape::kClustered && n > 3) {
+      // Random in-campus cross links (~n/3 extra edges).
+      for (int e = 0; e < n / 3; ++e) {
+        const auto i = static_cast<std::uint32_t>(crng.index(
+            static_cast<std::size_t>(n)));
+        const auto j = static_cast<std::uint32_t>(crng.index(
+            static_cast<std::size_t>(n)));
+        if (i == j) continue;
+        const Dbm rssi = crng.uniform(-82.0, -55.0);
+        scans[next_id + i].neighbors.push_back(
+            NeighborReport{ApId(next_id + j), rssi});
+        scans[next_id + j].neighbors.push_back(
+            NeighborReport{ApId(next_id + i), rssi});
+      }
+    }
+    next_id += static_cast<std::uint32_t>(n);
+  }
+
+  // Sub-floor cross-campus reports: audible, but below the contender floor
+  // — the partitioner must NOT merge across these.
+  if (cfg.cross_campus_subfloor > 0.0 && cfg.campuses > 1) {
+    Rng xrng = root.fork(0xC0FFEEULL);
+    for (std::size_t i = 0; i < scans.size(); ++i) {
+      if (!xrng.bernoulli(cfg.cross_campus_subfloor)) continue;
+      const std::size_t j = xrng.index(scans.size());
+      if (scans[j].id == scans[i].id) continue;
+      scans[i].neighbors.push_back(
+          NeighborReport{scans[j].id, xrng.uniform(-99.0, -90.0)});
+    }
+  }
+  return scans;
+}
+
+void churn_spectrum(std::vector<ApScan>& scans, double fraction,
+                    std::uint64_t seed) {
+  if (fraction <= 0.0) return;
+  const Rng root(seed);
+  const std::vector<Channel> comps = scans.empty()
+      ? std::vector<Channel>{}
+      : channels::us_catalog(scans.front().band, ChannelWidth::MHz20);
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    Rng arng = root.fork(i);
+    if (!arng.bernoulli(fraction)) continue;
+    roll_spectrum(scans[i], comps, arng);
+  }
+}
+
+FleetScenarioResult run_fleet_scenario(const FleetScenarioConfig& cfg) {
+  FleetScenarioResult res;
+  fleet::FleetController controller(cfg.controller);
+  ctrl::PlanFanout fanout;
+  telemetry::FleetIngest ingest;
+  if (cfg.telemetry_max_age > Time{0})
+    ingest.ap_stats().set_retention(
+        telemetry::LittleTable::Retention{cfg.telemetry_max_age, 0});
+
+  controller.set_plan_sink([&](const fleet::CampusPlanOutput& out) {
+    res.plan_seconds.push_back(out.plan_seconds);
+    res.netp_log_sum += out.netp_log;
+    if (cfg.attach_ctrl)
+      fanout.commit(out.campus_key, out.plan, out.netp_log, out.planned_at);
+    if (cfg.attach_telemetry)
+      ingest.ingest_plan(out.campus_key, out.planned_at, out.n_aps,
+                         out.netp_log, out.improved, out.plan_seconds);
+  });
+
+  std::vector<ApScan> scans = make_fleet_scans(cfg.population, Time{});
+  for (int p = 0; p < cfg.polls; ++p) {
+    const Time t = time::nanos((p + 1) * cfg.poll.ns());
+    if (p > 0)
+      churn_spectrum(scans, cfg.churn_fraction,
+                     cfg.population.seed ^ static_cast<std::uint64_t>(p));
+    for (ApScan& s : scans) s.taken_at = t;
+    controller.offer_epoch(fleet::ScanEpoch{t, scans});
+    controller.tick(t);
+    if (cfg.attach_telemetry) {
+      // The interval's telemetry: one bulk append per campus poll.
+      controller.for_each_campus(
+          [&](std::uint32_t key, const std::vector<ApScan>& campus) {
+            ingest.ingest_scans(key, campus, t);
+          });
+    }
+  }
+
+  res.fleet_aps = controller.fleet_aps();
+  res.campuses = controller.campus_count();
+  res.digest = controller.plan_digest();
+  res.final_plan = controller.fleet_plan();
+  res.stats = controller.stats();
+  res.ingest_queue = controller.ingest_stats();
+  res.output_queue = controller.output_stats();
+  res.plans_committed = fanout.stats().plans_committed;
+  res.ctrl_campuses = fanout.stats().campuses_seen;
+  res.telemetry_rows = ingest.rows_ingested();
+  res.telemetry_trimmed = ingest.ap_stats().rows_trimmed();
+  return res;
+}
+
+}  // namespace w11::scenario

@@ -1,0 +1,85 @@
+#pragma once
+// Fleet-scale scenario: a synthetic continental AP population driven
+// through the full sharded planning pipeline (DESIGN.md §15) —
+//
+//   make_fleet_scans -> FleetController (partition / cadence / TaskPool
+//   shards / bounded queues) -> ctrl::PlanFanout (per-campus PlanStores)
+//   + telemetry::FleetIngest (batched per-campus LittleTable appends)
+//
+// The population generator builds scan epochs directly (no flowsim
+// Network): at 100k+ APs what the fleet layer consumes is the census, and
+// synthesizing it keeps population setup O(n) and byte-deterministic.
+// Campuses are internally connected contender graphs with *no* cross-campus
+// contender edges — sub-floor cross-campus neighbor reports can be mixed in
+// to exercise the partitioner's RSSI-floor rule — so the generated campus
+// count is ground truth for the partition.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "fleet/controller.hpp"
+#include "flowsim/scan.hpp"
+
+namespace w11::scenario {
+
+struct FleetPopulationConfig {
+  int campuses = 16;
+  int aps_min = 8;
+  int aps_max = 24;
+  Band band = Band::G5;
+  // kChain: each campus is one RSSI chain (minimal edges, ground truth for
+  // partition tests). kClustered: chain backbone plus random in-campus
+  // cross links (denser contention, the bench shape).
+  enum class Shape { kChain, kClustered };
+  Shape shape = Shape::kClustered;
+  // Fraction of APs that also report a neighbor in *another* campus at
+  // sub-floor RSSI (must not merge campuses; 0 disables).
+  double cross_campus_subfloor = 0.25;
+  std::uint64_t seed = 1;
+};
+
+// One population census. Byte-deterministic in (cfg, taken_at); ids are
+// dense [0, n) in campus order, so campus keys are the id of each campus's
+// first AP.
+[[nodiscard]] std::vector<ApScan> make_fleet_scans(
+    const FleetPopulationConfig& cfg, Time taken_at);
+
+// Deterministic per-poll spectrum churn: re-roll external_util/quality (and
+// the measured utilization) on ~`fraction` of APs, keyed by (seed, AP
+// position). Topology and ids are untouched, so partitions are stable and
+// the unchurned majority hits the spectrum-aggregate caches.
+void churn_spectrum(std::vector<ApScan>& scans, double fraction,
+                    std::uint64_t seed);
+
+struct FleetScenarioConfig {
+  FleetPopulationConfig population;
+  fleet::FleetController::Config controller;
+  int polls = 3;
+  Time poll = time::minutes(15);
+  double churn_fraction = 0.25;
+  bool attach_ctrl = true;       // fan plans out into per-campus PlanStores
+  bool attach_telemetry = true;  // batched per-campus LittleTable ingest
+  Time telemetry_max_age{0};     // retention on the fleet AP table (0 = off)
+};
+
+struct FleetScenarioResult {
+  std::size_t fleet_aps = 0;
+  std::size_t campuses = 0;
+  std::uint64_t digest = 0;       // worker-count byte-equivalence witness
+  ChannelPlan final_plan;
+  double netp_log_sum = 0.0;      // folded in delivery order (deterministic)
+  fleet::FleetController::Stats stats;
+  fleet::QueueStats ingest_queue;
+  fleet::QueueStats output_queue;
+  std::vector<double> plan_seconds;  // per delivered campus plan
+  std::uint64_t plans_committed = 0;     // via PlanFanout
+  std::uint64_t ctrl_campuses = 0;       // PlanStores created
+  std::uint64_t telemetry_rows = 0;      // AP rows bulk-appended
+  std::uint64_t telemetry_trimmed = 0;   // rows dropped by retention
+};
+
+[[nodiscard]] FleetScenarioResult run_fleet_scenario(
+    const FleetScenarioConfig& cfg);
+
+}  // namespace w11::scenario

@@ -23,6 +23,7 @@ void LittleTable::insert(std::uint32_t entity, Time at,
                          std::vector<double> values) {
   W11_CHECK_MSG(values.size() == columns_.size(), "schema width mismatch");
   if (!rows_.empty() && at < rows_.back().at) sorted_ = false;
+  oldest_ = rows_.empty() ? at : std::min(oldest_, at);
   rows_.push_back(Row{entity, at, std::move(values)});
   newest_ = std::max(newest_, at);
   maybe_compact();
@@ -47,7 +48,11 @@ void LittleTable::append(std::vector<Row> batch) {
     prev = r.at;
   }
   rows_.reserve(rows_.size() + batch.size());
-  for (const Row& r : batch) newest_ = std::max(newest_, r.at);
+  if (rows_.empty()) oldest_ = batch.front().at;
+  for (const Row& r : batch) {
+    newest_ = std::max(newest_, r.at);
+    oldest_ = std::min(oldest_, r.at);
+  }
   std::move(batch.begin(), batch.end(), std::back_inserter(rows_));
   maybe_compact();
 }
@@ -153,6 +158,7 @@ void LittleTable::trim_before(Time cutoff) {
       [](const Row& r, Time t) { return r.at < t; });
   rows_trimmed_ += static_cast<std::uint64_t>(lo - rows_.begin());
   rows_.erase(rows_.begin(), lo);
+  if (!rows_.empty()) oldest_ = rows_.front().at;  // sorted here
 }
 
 void LittleTable::set_retention(Retention r) {
@@ -167,6 +173,7 @@ void LittleTable::set_retention(Retention r) {
     rows_trimmed_ += drop;
     rows_.erase(rows_.begin(),
                 rows_.begin() + static_cast<std::ptrdiff_t>(drop));
+    if (!rows_.empty()) oldest_ = rows_.front().at;
   }
 }
 
@@ -182,8 +189,9 @@ void LittleTable::maybe_compact() {
     const Time budget =
         retention_.max_age + time::nanos(retention_.max_age.ns() /
                                          static_cast<std::int64_t>(kCompactSlack));
-    ensure_sorted();  // cheap when already sorted (the common ingest order)
-    if (newest_ - rows_.front().at > budget) over = true;
+    // The incrementally tracked oldest timestamp, not the sort index: a
+    // batch append must not force a sort just to ask "is anything old?".
+    if (newest_ - oldest_ > budget) over = true;
   }
   if (!over) return;
   if (retention_.max_age > Time{0})
@@ -194,6 +202,7 @@ void LittleTable::maybe_compact() {
     rows_trimmed_ += drop;
     rows_.erase(rows_.begin(),
                 rows_.begin() + static_cast<std::ptrdiff_t>(drop));
+    if (!rows_.empty()) oldest_ = rows_.front().at;
   }
 }
 

@@ -74,7 +74,12 @@ class LittleTable {
   //     0 disables the cap.
   // Compaction runs when the window is exceeded by kCompactSlack — one
   // erase per ~slack ingests, not one per row — so steady-state ingest
-  // stays amortized O(1) per row.
+  // stays amortized O(1) per row. The age probe reads the incrementally
+  // tracked oldest resident timestamp, never the sort index: multi-network
+  // fleet ingest appends per-campus batches whose timestamps interleave
+  // across campuses (every seam is out-of-order), and paying a full table
+  // sort per batch just to ask "is anything too old?" would regress ingest
+  // to O(n log n) per poll.
   struct Retention {
     Time max_age{0};
     std::size_t max_rows = 0;
@@ -84,10 +89,10 @@ class LittleTable {
   // Rows dropped by retention so far (trim_before included).
   [[nodiscard]] std::uint64_t rows_trimmed() const { return rows_trimmed_; }
 
- private:
   // Exceed the window by 1/kCompactSlack of its size before compacting.
   static constexpr std::size_t kCompactSlack = 8;
 
+ private:
   [[nodiscard]] std::size_t column_index(std::string_view column) const;
   void ensure_sorted() const;
   void maybe_compact();
@@ -98,6 +103,7 @@ class LittleTable {
   mutable bool sorted_ = true;
   Retention retention_;
   Time newest_{};  // max timestamp ever ingested (age anchor)
+  Time oldest_{};  // min timestamp resident (meaningful while !rows_.empty())
   std::uint64_t rows_trimmed_ = 0;
 };
 

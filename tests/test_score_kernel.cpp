@@ -283,17 +283,60 @@ TEST(ScoreKernel, StatsCacheMissesOnContentChangeOnly) {
 TEST(ScoreKernel, StatsCacheRespectsCapacity) {
   const Params params;
   // Hostile fleet: every AP's spectrum content is distinct (random maps),
-  // so 20 APs want 20 cache rows against a capacity of 4.
+  // so 20 APs want 20 cache rows against a capacity of 4. LRU eviction
+  // keeps the bound: exactly 4 rows resident, the 16 overflow rows evicted
+  // oldest-first.
   Rng rng(23);
   const std::vector<ApScan> scans = hostile_scans(20, rng, false);
   flowsim::ScanStatsCache cache(/*capacity=*/4);
   { const flowsim::ScanIndex i0(scans, params.neighbor_rssi_floor, nullptr,
                                 &cache); }
-  EXPECT_GT(cache.stats().full_skips, 0u);
-  // Still correct, just smaller: a second build hits on the retained rows.
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 16u);
+  // Still correct, just smaller: a second build hits on the retained rows
+  // (the most recently inserted ones — APs 16..19).
   { const flowsim::ScanIndex i1(scans, params.neighbor_rssi_floor, nullptr,
                                 &cache); }
-  EXPECT_GE(cache.stats().hits, 4u);
+  EXPECT_EQ(cache.stats().hits, 4u);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(ScoreKernel, StatsCacheLruEvictionIsDeterministic) {
+  const Params params;
+  Rng rng(29);
+  const std::vector<ApScan> scans = hostile_scans(12, rng, false);
+  // Two caches fed the identical probe/insert history hold the identical
+  // survivor set — eviction is a pure function of the access sequence.
+  flowsim::ScanStatsCache a(/*capacity=*/5), b(/*capacity=*/5);
+  for (int round = 0; round < 3; ++round) {
+    const flowsim::ScanIndex ia(scans, params.neighbor_rssi_floor, nullptr, &a);
+    const flowsim::ScanIndex ib(scans, params.neighbor_rssi_floor, nullptr, &b);
+  }
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  EXPECT_EQ(a.stats().misses, b.stats().misses);
+  EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), 5u);
+
+  // A probed row is MRU: with capacity == fleet size, re-building keeps
+  // every row resident and evicts nothing further.
+  flowsim::ScanStatsCache c(/*capacity=*/12);
+  { const flowsim::ScanIndex i0(scans, params.neighbor_rssi_floor, nullptr,
+                                &c); }
+  const std::uint64_t evictions_cold = c.stats().evictions;
+  { const flowsim::ScanIndex i1(scans, params.neighbor_rssi_floor, nullptr,
+                                &c); }
+  EXPECT_EQ(c.stats().evictions, evictions_cold);
+  EXPECT_EQ(c.stats().hits, 12u);
+
+  // capacity 0 disables retention: every probe misses, nothing resident.
+  flowsim::ScanStatsCache off(/*capacity=*/0);
+  { const flowsim::ScanIndex i0(scans, params.neighbor_rssi_floor, nullptr,
+                                &off); }
+  { const flowsim::ScanIndex i1(scans, params.neighbor_rssi_floor, nullptr,
+                                &off); }
+  EXPECT_EQ(off.stats().hits, 0u);
+  EXPECT_EQ(off.size(), 0u);
 }
 
 // Golden NetP digest (determinism guard): the exact bits of net_p_log on a

@@ -8,11 +8,13 @@
 #include "common/stats.hpp"
 #include "flowsim/network.hpp"
 #include "telemetry/collector.hpp"
+#include "telemetry/fleet_ingest.hpp"
 #include "telemetry/littletable.hpp"
 
 namespace w11 {
 namespace {
 
+using telemetry::FleetIngest;
 using telemetry::LittleTable;
 
 LittleTable two_col() { return LittleTable("t", {"a", "b"}); }
@@ -350,6 +352,63 @@ TEST(Collector, DropCountersSurfaceAsColumns) {
   EXPECT_EQ(rows[0].values[col_of("records_written")], 1.0);
   EXPECT_EQ(rows[1].values[col_of("records_dropped")], 2.0);
   EXPECT_EQ(rows[1].values[col_of("records_written")], 2.0);
+}
+
+TEST(LittleTable, RetentionCompactsAcrossOutOfOrderBatchSeams) {
+  // Fleet ingest interleaves campus batches: each batch is internally
+  // sorted but starts before the previous batch's end. Retention must
+  // still notice over-age rows (the probe reads the tracked oldest
+  // timestamp, not the sort index) and trim exactly by age.
+  LittleTable t("seams", {"v"});
+  t.set_retention({.max_age = time::minutes(10)});
+  for (int poll = 0; poll < 40; ++poll) {
+    const Time at = time::minutes(poll);
+    std::vector<LittleTable::Row> campus_a, campus_b;
+    for (std::uint32_t e = 0; e < 4; ++e)
+      campus_a.push_back({e, at, {1.0}});
+    for (std::uint32_t e = 100; e < 104; ++e)
+      campus_b.push_back({e, at, {2.0}});
+    t.append(std::move(campus_a));
+    t.append(std::move(campus_b));  // same timestamps: a seam every poll
+  }
+  EXPECT_GT(t.rows_trimmed(), 0u) << "age probe never saw the old rows";
+  const auto rows = t.query(Time{0}, time::hours(2));
+  for (const auto& r : rows)
+    EXPECT_GE(r.at,
+              time::minutes(39) - time::minutes(10) -
+                  time::minutes(10) /
+                      static_cast<std::int64_t>(LittleTable::kCompactSlack));
+}
+
+TEST(FleetIngestTest, BatchedScanIngestLandsOneRowPerAp) {
+  FleetIngest ingest;
+  std::vector<ApScan> scans(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    scans[i].id = ApId(i + 10);
+    scans[i].utilization_current = 0.1 * static_cast<double>(i);
+  }
+  scans[0].neighbors.push_back(NeighborReport{ApId(11), -60.0});
+  ingest.ingest_scans(10, scans, time::minutes(1));
+  ingest.ingest_scans(10, scans, time::minutes(2));
+  EXPECT_EQ(ingest.rows_ingested(), 6u);
+  const auto rows = ingest.ap_stats().query(Time{0}, time::hours(1));
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].entity, 10u);
+  EXPECT_EQ(rows[0].values[0], 10.0);  // campus column
+  EXPECT_EQ(rows[0].values[3], 1.0);   // neighbor count
+}
+
+TEST(FleetIngestTest, PlanRowsCarryDeliveryMetadata) {
+  FleetIngest ingest;
+  ingest.ingest_plan(7, time::minutes(1), 12, -3.5, true, 0.01);
+  ingest.ingest_plan(9, time::minutes(2), 8, -1.0, false, 0.02);
+  EXPECT_EQ(ingest.plans_ingested(), 2u);
+  const auto rows = ingest.plan_stats().query(Time{0}, time::hours(1));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].entity, 7u);
+  EXPECT_EQ(rows[0].values[0], 12.0);
+  EXPECT_EQ(rows[0].values[2], 1.0);
+  EXPECT_EQ(rows[1].values[2], 0.0);
 }
 
 }  // namespace
