@@ -1,11 +1,21 @@
-// Fleet-scale planning throughput (DESIGN.md §15): a ≥10k-AP synthetic
-// continental population driven through the sharded pipeline — partition
-// into campuses, cadence-schedule, plan on a TaskPool, stream plans out
-// through the bounded queues into per-campus PlanStores and batched
-// telemetry — at 1/2/4/8 workers. Reports APs planned per second, p50/p95
-// per-campus plan latency, and telemetry ingest rate, in wall-clock and
-// CPU-share terms, and checks the determinism contract: the delivered plan
-// stream (digest) is byte-identical at every worker count.
+// Fleet-scale planning throughput (DESIGN.md §15, §16). Two modes:
+//
+//   bench_fleet            worker sweep: a ≥10k-AP population through the
+//                          sharded pipeline at 1-8 workers (aps/sec, plan
+//                          latency, ingest rate, digest byte-equivalence).
+//                          Writes BENCH_fleet.json.
+//   bench_fleet --churn    churn sweep: a ≥100k-AP population re-ingested
+//                          for 5 steady-state cycles at 0.1% / 1% / 10%
+//                          churn, replayed both as full ScanEpochs and as
+//                          DeltaEpochs. Measures the controller's
+//                          ingest+partition seconds per mode (the O(churn)
+//                          vs O(fleet) claim), peak RSS, and checks the
+//                          two replays deliver byte-identical plan
+//                          streams. Writes BENCH_fleet_delta.json.
+//
+// The churn sweep throttles planning with a tiny output queue (jobs defer
+// deterministically), so the measured time is census adoption — partition,
+// dirty marking, state reconciliation — not TurboCA.
 
 #include <chrono>
 #include <cstdint>
@@ -13,6 +23,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -22,6 +33,7 @@
 #include "common/json_writer.hpp"
 #include "common/stats.hpp"
 #include "exec/task_pool.hpp"
+#include "fleet/controller.hpp"
 #include "scenario/fleet_harness.hpp"
 
 using namespace w11;
@@ -38,6 +50,15 @@ const char* build_type() {
   return "debug";
 #endif
 }
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setfill('0') << std::setw(16) << v;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Worker sweep (BENCH_fleet.json)
 
 scenario::FleetScenarioConfig fleet_config(exec::TaskPool* pool) {
   scenario::FleetScenarioConfig cfg;
@@ -75,15 +96,7 @@ WorkerRun run_at(int workers) {
   return out;
 }
 
-std::string hex64(std::uint64_t v) {
-  std::ostringstream os;
-  os << "0x" << std::hex << std::setfill('0') << std::setw(16) << v;
-  return os.str();
-}
-
-}  // namespace
-
-int main() {
+int run_worker_sweep() {
   print_banner("fleet",
                "Fleet-scale sharded planning: 10k+ APs per cycle, 1-8 workers");
 
@@ -192,4 +205,234 @@ int main() {
     std::cout << "\n  wrote BENCH_fleet.json\n";
   }
   return bench::finish();
+}
+
+// ---------------------------------------------------------------------------
+// Churn sweep (BENCH_fleet_delta.json)
+
+// Peak resident set (VmHWM) in KiB from /proc/self/status; 0 if unreadable.
+std::size_t peak_rss_kib() {
+  std::ifstream in("/proc/self/status");
+  std::string key;
+  while (in >> key) {
+    if (key == "VmHWM:") {
+      std::size_t kib = 0;
+      in >> kib;
+      return kib;
+    }
+    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+  return 0;
+}
+
+// Reset the VmHWM watermark so per-run peaks are independent (Linux
+// clear_refs; returns false where unsupported, in which case readings are
+// process-monotonic and runs must be ordered cheapest-first).
+bool reset_peak_rss() {
+  std::ofstream out("/proc/self/clear_refs");
+  if (!out) return false;
+  out << "5";
+  out.flush();
+  return out.good();
+}
+
+struct ChurnRun {
+  double churn = 0.0;
+  bool use_deltas = false;
+  double ingest_steady_s = 0.0;   // census adoption seconds, polls 2..N
+  std::uint64_t aps_repart = 0;   // scans re-partitioned, polls 2..N
+  std::uint64_t campuses_repart = 0;
+  std::uint64_t deltas_adopted = 0;
+  std::size_t fleet_aps = 0;
+  std::size_t peak_rss_kib = 0;
+  std::uint64_t digest = 0;
+};
+
+constexpr int kChurnPolls = 6;  // 1 full census + 5 steady-state cycles
+
+ChurnRun run_churn(double churn, bool use_deltas, bool rss_resettable) {
+  exec::TaskPool pool(1);
+  scenario::FleetPopulationConfig pop;
+  // ~6250 campuses × avg 16 APs ≈ 100k APs.
+  pop.campuses = 6250;
+  pop.aps_min = 10;
+  pop.aps_max = 22;
+  pop.seed = 20170901;
+  fleet::FleetController::Config ccfg;
+  ccfg.seed = 7;
+  ccfg.pool = &pool;
+  // Throttle planning to a trickle: this sweep measures census adoption,
+  // and deferred jobs are deterministic, so both replay modes plan the
+  // same handful of campuses and stay digest-comparable.
+  ccfg.output_capacity = 8;
+  fleet::FleetController ctl(ccfg);
+
+  ChurnRun out;
+  out.churn = churn;
+  out.use_deltas = use_deltas;
+  std::vector<ApScan> scans = scenario::make_fleet_scans(pop, Time{});
+  std::uint32_t next_id = scans.back().id.value() + 1;
+  if (rss_resettable) reset_peak_rss();
+
+  double ingest_first = 0.0;
+  std::uint64_t aps_first = 0, campuses_first = 0;
+  Time prev{};
+  for (int p = 0; p < kChurnPolls; ++p) {
+    const Time t = time::nanos((p + 1) * time::minutes(15).ns());
+    if (p == 0) {
+      for (ApScan& s : scans) s.taken_at = t;
+      ctl.offer_epoch(fleet::ScanEpoch{t, scans});
+    } else {
+      fleet::DeltaEpoch d = scenario::evolve_population(
+          scans, pop, churn, churn / 10.0,
+          pop.seed ^ static_cast<std::uint64_t>(p), next_id, prev, t);
+      if (use_deltas) {
+        ctl.offer_delta(std::move(d));
+      } else {
+        ctl.offer_epoch(fleet::ScanEpoch{t, scans});
+      }
+    }
+    ctl.tick(t);
+    if (p == 0) {
+      ingest_first = ctl.stats().ingest_seconds;
+      aps_first = ctl.stats().aps_repartitioned;
+      campuses_first = ctl.stats().campuses_repartitioned;
+    }
+    prev = t;
+  }
+  out.ingest_steady_s = ctl.stats().ingest_seconds - ingest_first;
+  out.aps_repart = ctl.stats().aps_repartitioned - aps_first;
+  out.campuses_repart = ctl.stats().campuses_repartitioned - campuses_first;
+  out.deltas_adopted = ctl.stats().deltas_adopted;
+  out.fleet_aps = ctl.fleet_aps();
+  out.peak_rss_kib = peak_rss_kib();
+  out.digest = ctl.plan_digest();
+  return out;
+}
+
+int run_churn_sweep() {
+  print_banner("fleet --churn",
+               "Delta-epoch ingestion: O(churn) vs O(fleet) census adoption "
+               "at 100k APs");
+
+  const std::vector<double> churn_levels = {0.001, 0.01, 0.1};
+  const bool rss_resettable = reset_peak_rss();
+
+  // Delta runs first: where the watermark can't be reset, readings are
+  // process-monotonic, so the cheap (delta) runs must come before the
+  // expensive (full) ones for "delta peak <= full peak" to be honest.
+  std::vector<ChurnRun> deltas, fulls;
+  for (const double c : churn_levels)
+    deltas.push_back(run_churn(c, /*use_deltas=*/true, rss_resettable));
+  for (const double c : churn_levels)
+    fulls.push_back(run_churn(c, /*use_deltas=*/false, rss_resettable));
+
+  TablePrinter t({"churn", "mode", "ingest s (5 cycles)", "aps repart",
+                  "campuses repart", "peak RSS MiB"});
+  for (std::size_t i = 0; i < churn_levels.size(); ++i) {
+    t.add_row(churn_levels[i], "delta", deltas[i].ingest_steady_s,
+              deltas[i].aps_repart, deltas[i].campuses_repart,
+              static_cast<double>(deltas[i].peak_rss_kib) / 1024.0);
+    t.add_row(churn_levels[i], "full", fulls[i].ingest_steady_s,
+              fulls[i].aps_repart, fulls[i].campuses_repart,
+              static_cast<double>(fulls[i].peak_rss_kib) / 1024.0);
+  }
+  t.print();
+  std::cout << "  population: " << fulls[0].fleet_aps
+            << " APs; 1 full census + " << (kChurnPolls - 1)
+            << " churn cycles per run; VmHWM reset "
+            << (rss_resettable ? "supported" : "unsupported (monotonic)")
+            << "\n";
+
+  bench::paper_note(
+      "fleet-wide scan collection feeds central planning (§4.4); a delta "
+      "census format makes the steady-state planning cycle O(churn) — only "
+      "campuses the churn touched are re-partitioned and re-planned");
+  bench::shape_check("population meets the fleet bar (>= 100k APs)",
+                     fulls[0].fleet_aps >= 100000);
+  bool digests_match = true;
+  for (std::size_t i = 0; i < churn_levels.size(); ++i)
+    digests_match = digests_match && deltas[i].digest == fulls[i].digest;
+  bench::shape_check(
+      "delta replay delivers the full replay's exact plan stream (digests "
+      "match at every churn level)",
+      digests_match);
+  bool adopted_all = true;
+  for (const ChurnRun& r : deltas)
+    adopted_all = adopted_all && r.deltas_adopted == kChurnPolls - 1;
+  bench::shape_check("every delta was adopted (no base mismatches)",
+                     adopted_all);
+  const double speedup_low =
+      fulls[0].ingest_steady_s / std::max(deltas[0].ingest_steady_s, 1e-9);
+  const double speedup_mid =
+      fulls[1].ingest_steady_s / std::max(deltas[1].ingest_steady_s, 1e-9);
+  bench::shape_check(
+      "delta ingest+partition >= 5x faster than full at 0.1% churn",
+      speedup_low >= 5.0);
+  bench::shape_check(
+      "delta ingest+partition >= 5x faster than full at 1% churn",
+      speedup_mid >= 5.0);
+  bool rss_bounded = true;
+  for (std::size_t i = 0; i < churn_levels.size(); ++i)
+    rss_bounded = rss_bounded &&
+                  deltas[i].peak_rss_kib <= fulls[i].peak_rss_kib;
+  bench::shape_check("delta path peak RSS never exceeds the full path's",
+                     rss_bounded);
+  std::cout << "  speedup: " << std::fixed << std::setprecision(1)
+            << speedup_low << "x at 0.1% churn, " << speedup_mid
+            << "x at 1% churn, "
+            << fulls[2].ingest_steady_s /
+                   std::max(deltas[2].ingest_steady_s, 1e-9)
+            << "x at 10% churn\n";
+
+  // --- JSON artifact -------------------------------------------------------
+  if (std::string(build_type()) != "release") {
+    std::cout << "\n  debug build: refusing to write BENCH_fleet_delta.json\n";
+    return bench::finish();
+  }
+  {
+    std::ofstream os("BENCH_fleet_delta.json");
+    json::Writer w(os);
+    w.begin_object();
+    w.field("bench", "fleet_delta");
+    w.field("build_type", build_type());
+    w.field("fleet_aps", static_cast<std::int64_t>(fulls[0].fleet_aps));
+    w.field("polls", static_cast<std::int64_t>(kChurnPolls));
+    w.field("steady_cycles", static_cast<std::int64_t>(kChurnPolls - 1));
+    w.field("digests_match_full_vs_delta", digests_match);
+    w.field("rss_watermark_resettable", rss_resettable);
+    w.field("hardware_concurrency",
+            static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+    w.key("churn_levels").begin_array();
+    for (std::size_t i = 0; i < churn_levels.size(); ++i) {
+      w.begin_object();
+      w.field("churn", churn_levels[i]);
+      w.field("ingest_speedup",
+              fulls[i].ingest_steady_s /
+                  std::max(deltas[i].ingest_steady_s, 1e-9));
+      for (const ChurnRun* r : {&deltas[i], &fulls[i]}) {
+        w.key(r->use_deltas ? "delta" : "full").begin_object();
+        w.field("ingest_steady_s", r->ingest_steady_s);
+        w.field("aps_repartitioned", r->aps_repart);
+        w.field("campuses_repartitioned", r->campuses_repart);
+        w.field("peak_rss_kib", static_cast<std::int64_t>(r->peak_rss_kib));
+        w.field("digest", hex64(r->digest));
+        w.end_object();
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
+    std::cout << "\n  wrote BENCH_fleet_delta.json\n";
+  }
+  return bench::finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--churn") return run_churn_sweep();
+  return run_worker_sweep();
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <set>
 #include <utility>
 
+#include "common/check.hpp"
 #include "obs/gate.hpp"
 
 namespace w11::fleet {
@@ -24,6 +26,11 @@ void fnv_mix_value(std::uint64_t& h, T v) {
   fnv_mix(h, &v, sizeof(v));
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 FleetController::FleetController(Config cfg)
@@ -34,38 +41,101 @@ FleetController::FleetController(Config cfg)
       scheduler_(cfg.cadence, cfg.seed) {}
 
 bool FleetController::offer_epoch(ScanEpoch epoch) {
-  const bool accepted = ingest_.try_push(std::move(epoch));
-  if (!accepted) W11_COUNT("fleet.epochs_dropped");
+  const bool accepted = ingest_.try_push(EpochUpdate{std::move(epoch)});
+  if (!accepted) {
+    offer_drops_.fetch_add(1, std::memory_order_relaxed);
+    W11_COUNT("fleet.epochs_dropped");
+  }
   return accepted;
 }
 
+bool FleetController::offer_delta(DeltaEpoch delta) {
+  const bool accepted = ingest_.try_push(EpochUpdate{std::move(delta)});
+  if (!accepted) {
+    offer_drops_.fetch_add(1, std::memory_order_relaxed);
+    W11_COUNT("fleet.epochs_dropped");
+  }
+  return accepted;
+}
+
+std::vector<std::uint32_t> FleetController::ghost_contenders_of(
+    const std::vector<ApScan>& scans) const {
+  // `scans` is a canonical slice (ascending id), so membership is a binary
+  // search. A contender-grade report of a non-member must point outside the
+  // fleet entirely: a live cross-campus contender edge would have merged
+  // the campuses at extraction time.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(scans.size());
+  for (const ApScan& s : scans) ids.push_back(s.id.value());
+  std::vector<std::uint32_t> out;
+  for (const ApScan& s : scans) {
+    for (const NeighborReport& nb : s.neighbors) {
+      if (nb.rssi < cfg_.planner.neighbor_rssi_floor) continue;
+      const std::uint32_t v = nb.id.value();
+      if (!std::binary_search(ids.begin(), ids.end(), v)) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void FleetController::install_campus(
+    Campus&& campus, std::map<std::uint32_t, CampusState>* prior, Time) {
+  CampusState st;
+  st.scans = std::move(campus.scans);
+  st.ghost_contenders = ghost_contenders_of(st.scans);
+  if (prior != nullptr) {
+    // Carry the stats cache and firing ordinal of a campus whose key
+    // persisted (the cross-epoch aggregate reuse is the point of the
+    // cache); a re-keyed campus starts fresh, exactly as the full path
+    // treats it.
+    const auto p = prior->find(campus.key);
+    if (p != prior->end()) {
+      st.cache = std::move(p->second.cache);
+      st.runs = p->second.runs;
+    }
+  }
+  if (!st.cache)
+    st.cache =
+        std::make_unique<flowsim::ScanStatsCache>(cfg_.stats_cache_capacity);
+  for (const ApScan& s : st.scans) owner_[s.id.value()] = campus.key;
+  for (const std::uint32_t g : st.ghost_contenders)
+    ghost_rev_[g].push_back(campus.key);
+  state_.emplace(campus.key, std::move(st));
+}
+
+void FleetController::unregister_campus(std::uint32_t key,
+                                        const CampusState& st) {
+  for (const std::uint32_t g : st.ghost_contenders) {
+    const auto it = ghost_rev_.find(g);
+    if (it == ghost_rev_.end()) continue;
+    std::vector<std::uint32_t>& keys = it->second;
+    keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
+    if (keys.empty()) ghost_rev_.erase(it);
+  }
+}
+
 void FleetController::adopt_epoch(ScanEpoch epoch, Time now) {
-  FleetPartition part =
-      partition_fleet(epoch.scans, cfg_.planner.neighbor_rssi_floor);
+  const auto t0 = std::chrono::steady_clock::now();
+  FleetPartition part = partition_fleet(
+      epoch.scans, cfg_.planner.neighbor_rssi_floor, &scratch_);
   fleet_aps_ = part.total_aps;
   last_epoch_at_ = epoch.taken_at;
 
-  // Rebuild campus state, carrying the stats cache and firing ordinal of
-  // campuses that persisted (the cross-epoch aggregate reuse is the point
-  // of the cache). Keys absent from this epoch drop their state.
-  std::map<std::uint32_t, CampusState> next;
+  // Rebuild the resident census wholesale. Keys absent from this epoch drop
+  // their state; persisting keys carry cache + firing ordinal through
+  // install_campus.
+  std::map<std::uint32_t, CampusState> prior = std::move(state_);
+  state_.clear();
+  owner_.clear();
+  ghost_rev_.clear();
   std::vector<std::uint32_t> keys;
   keys.reserve(part.campuses.size());
   for (Campus& campus : part.campuses) {
     keys.push_back(campus.key);
-    CampusState st;
-    const auto prev = state_.find(campus.key);
-    if (prev != state_.end()) {
-      st.cache = std::move(prev->second.cache);
-      st.runs = prev->second.runs;
-    } else {
-      st.cache =
-          std::make_unique<flowsim::ScanStatsCache>(cfg_.stats_cache_capacity);
-    }
-    st.scans = std::move(campus.scans);
-    next.emplace(campus.key, std::move(st));
+    install_campus(std::move(campus), &prior, now);
   }
-  state_ = std::move(next);
   scheduler_.sync(keys, now);
 
   // Prune assignments for APs that left the fleet, and seed currents for
@@ -80,7 +150,172 @@ void FleetController::adopt_epoch(ScanEpoch epoch, Time now) {
   planned_ = std::move(pruned);
 
   ++stats_.epochs_adopted;
+  stats_.aps_repartitioned += part.total_aps;
+  stats_.campuses_repartitioned += part.campuses.size();
+  stats_.ingest_seconds += seconds_since(t0);
   W11_COUNT("fleet.epochs_adopted");
+}
+
+void FleetController::apply_delta(DeltaEpoch delta, Time now) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Normalize producer classification against the resident census: an
+  // "update" for an unknown id is an add, an "add" for a present id is an
+  // update, a removal of an unknown id is a no-op. Each is counted.
+  std::vector<ApScan> added;
+  std::vector<ApScan> updated;
+  std::vector<std::uint32_t> removed;
+  added.reserve(delta.added.size());
+  updated.reserve(delta.updated.size());
+  removed.reserve(delta.removed.size());
+  for (ApScan& a : delta.added) {
+    if (owner_.contains(a.id.value())) {
+      ++stats_.deltas_normalized;
+      updated.push_back(std::move(a));
+    } else {
+      added.push_back(std::move(a));
+    }
+  }
+  for (ApScan& u : delta.updated) {
+    if (owner_.contains(u.id.value())) {
+      updated.push_back(std::move(u));
+    } else {
+      ++stats_.deltas_normalized;
+      added.push_back(std::move(u));
+    }
+  }
+  for (const ApId r : delta.removed) {
+    if (owner_.contains(r.value())) {
+      removed.push_back(r.value());
+    } else {
+      ++stats_.deltas_normalized;
+    }
+  }
+
+  // Dirty marking: which resident campuses could the delta have changed in
+  // *membership or topology*? Ordered set, so the pool below is assembled
+  // deterministically.
+  //
+  //   * the campus of every removed AP, and of every updated AP whose
+  //     neighbor reports changed (only neighbor edges feed the partition —
+  //     a spectrum-only update is substituted in place and repartitions
+  //     nothing, which is what keeps "1% churn" from ballooning into
+  //     "every campus containing a churned AP");
+  //   * the campus of every present AP that a topology-changed or added
+  //     scan reports at contender grade (a new live edge can merge
+  //     campuses; a *dropped* edge's far end was already in the updated
+  //     AP's own campus, so marking its owner covers splits);
+  //   * every campus whose members report an *added* id at contender grade
+  //     (the ghost reverse index: a pre-existing report of an absent AP
+  //     becomes a live edge the moment that AP appears).
+  //
+  // Unchanged scans cannot couple a dirty campus to a clean one beyond
+  // this closure: any contender edge between two unchanged present APs
+  // already placed them in the same campus.
+  const Dbm floor = cfg_.planner.neighbor_rssi_floor;
+  std::set<std::uint32_t> dirty;
+  const auto mark_owner_of = [&](std::uint32_t id_value) {
+    const auto it = owner_.find(id_value);
+    if (it != owner_.end()) dirty.insert(it->second);
+  };
+  for (const std::uint32_t r : removed) mark_owner_of(r);
+
+  // Apply scan updates in place (canonical slices: binary search by id),
+  // classifying each as spectrum-only or topology-changing as it lands.
+  // Campuses of content-only updates still need an out-of-band replan when
+  // the producer asked for one — tracked by their (stable) key.
+  std::set<std::uint32_t> content_touched;
+  for (ApScan& u : updated) {
+    const std::uint32_t key = owner_.at(u.id.value());
+    CampusState& cs = state_.at(key);
+    const auto it = std::lower_bound(
+        cs.scans.begin(), cs.scans.end(), u.id,
+        [](const ApScan& s, ApId id) { return s.id < id; });
+    if (it->neighbors == u.neighbors) {
+      if (cfg_.replan_on_delta) content_touched.insert(key);
+    } else {
+      dirty.insert(key);
+      for (const NeighborReport& nb : u.neighbors)
+        if (!(nb.rssi < floor)) mark_owner_of(nb.id.value());
+    }
+    *it = std::move(u);
+  }
+  for (const ApScan& a : added) {
+    for (const NeighborReport& nb : a.neighbors)
+      if (!(nb.rssi < floor)) mark_owner_of(nb.id.value());
+    const auto g = ghost_rev_.find(a.id.value());
+    if (g != ghost_rev_.end())
+      for (const std::uint32_t key : g->second) dirty.insert(key);
+  }
+
+  // Assemble the dirty pool: every member of a dirty campus that survives
+  // the delta, plus the added scans. Everything else keeps its cached
+  // partition slice untouched — this is the O(churn) claim.
+  std::vector<std::uint32_t> removed_sorted = removed;
+  std::sort(removed_sorted.begin(), removed_sorted.end());
+  std::vector<ApScan> pool;
+  std::map<std::uint32_t, CampusState> prior;
+  for (const std::uint32_t key : dirty) {
+    const auto it = state_.find(key);
+    W11_CHECK_MSG(it != state_.end(), "dirty campus vanished from the census");
+    unregister_campus(key, it->second);
+    for (ApScan& s : it->second.scans) {
+      if (std::binary_search(removed_sorted.begin(), removed_sorted.end(),
+                             s.id.value()))
+        continue;
+      pool.push_back(std::move(s));
+    }
+    prior.emplace(key, std::move(it->second));
+    state_.erase(it);
+  }
+  for (const std::uint32_t r : removed_sorted) {
+    owner_.erase(r);
+    planned_.erase(ApId(r));
+  }
+  // Seed the assignment of record for new APs before their scans move.
+  for (const ApScan& a : added) planned_.emplace(a.id, a.current);
+  for (ApScan& a : added) pool.push_back(std::move(a));
+
+  // Re-extract only the dirty components; splits, merges and re-keys all
+  // fall out of the same partition pass the full path uses.
+  FleetPartition part =
+      partition_fleet(pool, floor, &scratch_);
+  std::vector<std::uint32_t> new_keys;
+  new_keys.reserve(part.campuses.size());
+  for (Campus& campus : part.campuses) {
+    new_keys.push_back(campus.key);
+    install_campus(std::move(campus), &prior, now);
+  }
+
+  // Reconcile the scheduler in O(churn): keys that no longer exist are
+  // dropped, keys that did not exist before fire a first-sighting pass.
+  std::vector<std::uint32_t> dropped_keys;
+  for (const std::uint32_t key : dirty)
+    if (!std::binary_search(new_keys.begin(), new_keys.end(), key))
+      dropped_keys.push_back(key);
+  std::vector<std::uint32_t> added_keys;
+  for (const std::uint32_t key : new_keys)
+    if (!dirty.contains(key)) added_keys.push_back(key);
+  scheduler_.apply_delta(added_keys, dropped_keys, now);
+  if (cfg_.replan_on_delta) {
+    // Every campus the delta touched: re-extracted ones under their new
+    // keys, spectrum-only ones under their stable keys (a stale key — the
+    // campus was also re-extracted — is silently ignored; its new home is
+    // in new_keys).
+    for (const std::uint32_t key : new_keys) scheduler_.request_replan(key);
+    for (const std::uint32_t key : content_touched)
+      scheduler_.request_replan(key);
+  }
+
+  fleet_aps_ += added.size();
+  fleet_aps_ -= removed.size();
+  last_epoch_at_ = delta.taken_at;
+  ++stats_.deltas_adopted;
+  stats_.campuses_repartitioned += dirty.size();
+  stats_.aps_repartitioned += pool.size();
+  stats_.ingest_seconds += seconds_since(t0);
+  W11_COUNT("fleet.deltas_adopted");
+  W11_COUNT_N("fleet.delta.aps_repartitioned", pool.size());
 }
 
 CampusPlanOutput FleetController::run_job(const PlanJob& job,
@@ -115,34 +350,56 @@ CampusPlanOutput FleetController::run_job(const PlanJob& job,
     current = std::move(r.plan);
   }
   out.plan = std::move(current);
-  out.plan_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  out.plan_seconds = seconds_since(t0);
   return out;
 }
 
 void FleetController::tick(Time now) {
   ++stats_.ticks;
   W11_COUNT("fleet.ticks");
+  stats_.epochs_dropped = offer_drops_.load(std::memory_order_relaxed);
 
-  // Drain the ingest queue; adopt the newest census, count the rest as
-  // superseded (an older epoch behind a newer one carries no information
-  // the planner should act on).
-  std::optional<ScanEpoch> newest;
-  while (std::optional<ScanEpoch> e = ingest_.try_pop()) {
-    if (!newest || e->taken_at > newest->taken_at) {
-      if (newest) ++stats_.epochs_superseded;
-      newest = std::move(e);
+  // Drain the ingest queue. Full epochs collapse to the newest (an older
+  // census behind a newer one carries no information the planner should
+  // act on); deltas then apply in arrival order on top of whatever is
+  // adopted — a delta whose base is no longer the adopted epoch (stale, or
+  // leapfrogged by a newer full census in the same batch) is rejected and
+  // counted, and the producer recovers by sending a full epoch.
+  std::vector<EpochUpdate> batch;
+  while (std::optional<EpochUpdate> e = ingest_.try_pop())
+    batch.push_back(std::move(*e));
+  int newest_full = -1;
+  for (int i = 0; i < static_cast<int>(batch.size()); ++i) {
+    const ScanEpoch* full = std::get_if<ScanEpoch>(&batch[static_cast<std::size_t>(i)]);
+    if (full == nullptr) continue;
+    if (newest_full < 0 ||
+        full->taken_at >
+            std::get<ScanEpoch>(batch[static_cast<std::size_t>(newest_full)])
+                .taken_at) {
+      if (newest_full >= 0) ++stats_.epochs_superseded;
+      newest_full = i;
     } else {
       ++stats_.epochs_superseded;
     }
   }
-  if (newest) {
-    if (newest->taken_at > last_epoch_at_) {
-      adopt_epoch(std::move(*newest), now);
+  if (newest_full >= 0) {
+    ScanEpoch& e =
+        std::get<ScanEpoch>(batch[static_cast<std::size_t>(newest_full)]);
+    if (e.taken_at > last_epoch_at_) {
+      adopt_epoch(std::move(e), now);
     } else {
       ++stats_.epochs_superseded;  // stale vs the already-adopted census
     }
+  }
+  for (EpochUpdate& u : batch) {
+    DeltaEpoch* d = std::get_if<DeltaEpoch>(&u);
+    if (d == nullptr) continue;
+    if (d->taken_at <= last_epoch_at_ || d->base_taken_at != last_epoch_at_) {
+      ++stats_.deltas_rejected;
+      W11_COUNT("fleet.deltas_rejected");
+      continue;
+    }
+    apply_delta(std::move(*d), now);
   }
 
   // Due jobs in priority order, cut to the output queue's free slots —

@@ -1,12 +1,15 @@
 #pragma once
-// FleetController: the sharded planning pipeline (DESIGN.md §15).
+// FleetController: the sharded planning pipeline (DESIGN.md §15, §16).
 //
 // One controller plans an entire AP population per cycle:
 //
-//   collector shards --offer_epoch--> [MPMC ingest queue, bounded]
+//   collector shards --offer_epoch/offer_delta--> [MPMC ingest queue, bounded]
 //        tick(now):
-//          drain ingest (adopt the newest epoch, count superseded)
-//          partition_fleet  -> interference-isolated campuses
+//          drain ingest (adopt the newest full epoch, count superseded;
+//                        then apply deltas in arrival order on top)
+//          partition_fleet  -> interference-isolated campuses. Full epochs
+//                              re-partition everything; deltas re-extract
+//                              only the dirty components (O(churn))
 //          CadenceScheduler -> due jobs (replans first), clamped to the
 //                              output queue's free slots (backpressure)
 //          TaskPool         -> one task per campus job: ScanIndex build +
@@ -16,24 +19,41 @@
 //          [SPSC output queue, bounded] --drain--> plan sink (PlanFanout /
 //                              telemetry ingest), fleet plan digest
 //
+// The controller owns a *resident census*: each campus's canonical
+// (id-ascending) scan slice lives in CampusState and survives across
+// epochs. A full ScanEpoch replaces it wholesale; a DeltaEpoch edits it in
+// place and re-extracts only campuses the delta touched — everything else
+// keeps its cached partition slice, scheduler anchors, firing ordinals and
+// spectrum-aggregate cache. See apply_delta() for the dirty-marking rules
+// (including the ghost-contender index that catches an added AP activating
+// a pre-existing above-floor neighbor report).
+//
 // Determinism contract: the delivered plan stream — and therefore
 // plan_digest() — is a pure function of (config seed, the sequence of
-// adopted epochs, the tick times). Campus jobs are independent by the
-// partition isolation argument, each draws from its own (campus key, run
-// ordinal) RNG stream, outputs are pushed in job order, and every serial
-// decision (adoption, partition, scheduling, backpressure cuts) happens on
-// the ticking thread. Worker count changes wall-clock only.
+// adopted epoch updates, the tick times). Campus jobs are independent by
+// the partition isolation argument, each draws from its own (campus key,
+// run ordinal) RNG stream, outputs are pushed in job order, and every
+// serial decision (adoption, delta application, partition, scheduling,
+// backpressure cuts) happens on the ticking thread. Worker count changes
+// wall-clock only. Replaying the same census trajectory as full epochs or
+// as deltas yields byte-identical plan streams (the FleetDelta golden
+// suite pins this).
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "common/time.hpp"
 #include "core/turboca/turboca.hpp"
 #include "exec/shard_rng.hpp"
 #include "exec/task_pool.hpp"
+#include "fleet/delta.hpp"
 #include "fleet/partition.hpp"
 #include "fleet/queues.hpp"
 #include "fleet/scheduler.hpp"
@@ -47,6 +67,10 @@ struct ScanEpoch {
   Time taken_at{};
   std::vector<ApScan> scans;
 };
+
+// What the ingest queue carries: a full census or a delta against the last
+// adopted one (fleet/delta.hpp).
+using EpochUpdate = std::variant<ScanEpoch, DeltaEpoch>;
 
 // One campus planning result, as drained from the output queue.
 struct CampusPlanOutput {
@@ -68,10 +92,16 @@ class FleetController {
     turboca::Params planner;  // neighbor_rssi_floor also drives partitioning
     CadenceScheduler::Cadence cadence;
     std::uint64_t seed = 1;
-    std::size_t ingest_capacity = 16;    // scan epochs buffered
+    std::size_t ingest_capacity = 16;    // epoch updates buffered
     std::size_t output_capacity = 4096;  // campus plans buffered per tick
     // Per-campus spectrum-aggregate cache bound (0 disables reuse).
     std::size_t stats_cache_capacity = 256;
+    // Request an out-of-band priority replan for every campus a delta
+    // touches (for producers that push deltas faster than the fast
+    // cadence). Off by default: replan jobs carry Tier::kReplan, so the
+    // delivered tier stream — and the digest — diverges from a full-epoch
+    // replay of the same censuses, which only replans on cadence.
+    bool replan_on_delta = false;
     exec::TaskPool* pool = nullptr;  // nullptr = TaskPool::global()
   };
 
@@ -79,6 +109,21 @@ class FleetController {
     std::uint64_t ticks = 0;
     std::uint64_t epochs_adopted = 0;
     std::uint64_t epochs_superseded = 0;  // drained but older than the adopted
+    // offer_epoch/offer_delta rejections (bounded ingest queue was full) —
+    // the backpressure loss headless callers need next to the adoption
+    // counters. Synced from the producer-side counter at each tick, so it
+    // is current "as of the last tick".
+    std::uint64_t epochs_dropped = 0;
+    std::uint64_t deltas_adopted = 0;
+    std::uint64_t deltas_rejected = 0;    // base mismatch or stale timestamp
+    std::uint64_t deltas_normalized = 0;  // add/update/remove reclassified
+    std::uint64_t campuses_repartitioned = 0;  // dirty components re-extracted
+    std::uint64_t aps_repartitioned = 0;       // scans fed to partition_fleet
+    // Wall-clock seconds spent adopting censuses (full or delta): dirty
+    // marking, in-place application, partition_fleet, state/scheduler/plan
+    // reconciliation. The churn-sweep bench reads this — measurement only,
+    // never part of the digest.
+    double ingest_seconds = 0.0;
     std::uint64_t jobs_run = 0;
     std::uint64_t jobs_deferred = 0;  // due but cut by output backpressure
     std::uint64_t replans_run = 0;
@@ -96,10 +141,16 @@ class FleetController {
 
   explicit FleetController(Config cfg);
 
-  // Producer side (thread-safe): offer one scan epoch. False = the bounded
-  // ingest queue was full and the epoch was dropped (the next poll's census
-  // supersedes it anyway — dropping the oldest work is the right shedding).
+  // Producer side (thread-safe): offer one full scan epoch. False = the
+  // bounded ingest queue was full and the epoch was dropped (the next
+  // poll's census supersedes it anyway — dropping the oldest work is the
+  // right shedding).
   bool offer_epoch(ScanEpoch epoch);
+
+  // Producer side (thread-safe): offer one delta against the last adopted
+  // epoch. Same drop semantics; a dropped delta breaks the chain, so the
+  // producer should fall back to a full epoch when this returns false.
+  bool offer_delta(DeltaEpoch delta);
 
   void set_plan_sink(PlanSink sink) { sink_ = std::move(sink); }
 
@@ -117,6 +168,20 @@ class FleetController {
   [[nodiscard]] const CadenceScheduler& scheduler() const { return scheduler_; }
   [[nodiscard]] std::size_t campus_count() const { return state_.size(); }
   [[nodiscard]] std::size_t fleet_aps() const { return fleet_aps_; }
+
+  // Campus key owning this AP in the resident census (nullopt if unknown).
+  [[nodiscard]] std::optional<std::uint32_t> campus_of(ApId id) const {
+    const auto it = owner_.find(id.value());
+    if (it == owner_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // The resident canonical scan slice of one campus (nullptr if unknown).
+  [[nodiscard]] const std::vector<ApScan>* campus_scans(
+      std::uint32_t key) const {
+    const auto it = state_.find(key);
+    return it == state_.end() ? nullptr : &it->second.scans;
+  }
 
   // FNV-1a over every delivered plan, in delivery order: campus key, tier,
   // plan timestamp, each (ApId, band, number, width) assignment, and the
@@ -136,7 +201,12 @@ class FleetController {
 
  private:
   struct CampusState {
-    std::vector<ApScan> scans;  // latest adopted epoch, epoch order
+    std::vector<ApScan> scans;  // resident slice, canonical id-ascending
+    // Ids reported at contender-grade RSSI by members but absent from the
+    // fleet (sorted, unique). If such an id is later *added*, the report
+    // becomes a live contender edge and this campus must merge — the
+    // ghost reverse index below finds it in O(1).
+    std::vector<std::uint32_t> ghost_contenders;
     std::unique_ptr<flowsim::ScanStatsCache> cache;
     std::uint64_t runs = 0;  // firing ordinal (RNG stream derivation)
   };
@@ -146,6 +216,16 @@ class FleetController {
   }
 
   void adopt_epoch(ScanEpoch epoch, Time now);
+  void apply_delta(DeltaEpoch delta, Time now);
+  // Install one freshly extracted campus, carrying cache/runs from `prior`
+  // when its key persisted, and registering owner_/ghost_rev_ entries.
+  void install_campus(Campus&& campus,
+                      std::map<std::uint32_t, CampusState>* prior, Time now);
+  // Remove a campus's owner_/ghost_rev_ registrations (state_ erase is the
+  // caller's job — the dirty pool still needs the scans).
+  void unregister_campus(std::uint32_t key, const CampusState& st);
+  [[nodiscard]] std::vector<std::uint32_t> ghost_contenders_of(
+      const std::vector<ApScan>& scans) const;
   [[nodiscard]] CampusPlanOutput run_job(const PlanJob& job,
                                          const CampusState& cs,
                                          std::uint64_t stream, Time now) const;
@@ -154,15 +234,22 @@ class FleetController {
 
   Config cfg_;
   exec::ShardRng shard_;
-  MpmcQueue<ScanEpoch> ingest_;
+  MpmcQueue<EpochUpdate> ingest_;
   SpscQueue<CampusPlanOutput> out_;
   CadenceScheduler scheduler_;
   std::map<std::uint32_t, CampusState> state_;  // key-ordered
+  // Resident census lookup: AP id value -> owning campus key.
+  std::unordered_map<std::uint32_t, std::uint32_t> owner_;
+  // Ghost reverse index: absent id value -> campus keys whose members
+  // report it at contender-grade RSSI.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> ghost_rev_;
+  PartitionScratch scratch_;
   ChannelPlan planned_;
   std::size_t fleet_aps_ = 0;
   Time last_epoch_at_ = time::nanos(-1);  // newest adopted taken_at
   PlanSink sink_;
   std::uint64_t digest_ = 1469598103934665603ULL;  // FNV-1a offset basis
+  std::atomic<std::uint64_t> offer_drops_{0};  // producer-side, tick-synced
   Stats stats_;
 };
 

@@ -1,0 +1,52 @@
+#include "fleet/delta.hpp"
+
+#include <algorithm>
+
+namespace w11::fleet {
+
+DeltaEpoch diff_epochs(const std::vector<ApScan>& base,
+                       const std::vector<ApScan>& next, Time base_at,
+                       Time next_at) {
+  DeltaEpoch d;
+  d.taken_at = next_at;
+  d.base_taken_at = base_at;
+
+  // Merge-walk over id-sorted position lists (the censuses themselves may
+  // arrive in any order).
+  auto sorted_positions = [](const std::vector<ApScan>& scans) {
+    std::vector<std::uint32_t> pos(scans.size());
+    for (std::uint32_t i = 0; i < pos.size(); ++i) pos[i] = i;
+    std::sort(pos.begin(), pos.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return scans[a].id < scans[b].id;
+    });
+    return pos;
+  };
+  const std::vector<std::uint32_t> bp = sorted_positions(base);
+  const std::vector<std::uint32_t> np = sorted_positions(next);
+
+  std::size_t i = 0, j = 0;
+  while (i < bp.size() || j < np.size()) {
+    if (i == bp.size()) {
+      d.added.push_back(next[np[j++]]);
+    } else if (j == np.size()) {
+      d.removed.push_back(base[bp[i++]].id);
+    } else {
+      const ApScan& b = base[bp[i]];
+      const ApScan& n = next[np[j]];
+      if (b.id < n.id) {
+        d.removed.push_back(b.id);
+        ++i;
+      } else if (n.id < b.id) {
+        d.added.push_back(n);
+        ++j;
+      } else {
+        if (!(b == n)) d.updated.push_back(n);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace w11::fleet

@@ -1,0 +1,66 @@
+#pragma once
+// Delta epochs: O(churn) census ingestion for the fleet controller
+// (DESIGN.md §16).
+//
+// A full ScanEpoch ships a copy of the entire population census and forces
+// the controller to re-partition everything from scratch — O(fleet) per
+// poll, even though real deployments are overwhelmingly stable between
+// 15-minute scans (the paper's campus measurements; WACA shows the change
+// that does happen is bursty and localized). A DeltaEpoch instead describes
+// the census *relative to the last adopted epoch*:
+//
+//   * added    — full scans for APs that joined the fleet;
+//   * removed  — ids of APs that left;
+//   * updated  — full replacement scans for APs whose snapshot changed
+//                (spectrum, load, neighbors — any field).
+//
+// Chaining contract: a delta applies only on top of the exact epoch it was
+// produced against. `base_taken_at` must equal the controller's last adopted
+// timestamp; a mismatched delta is rejected and counted (the producer's
+// recovery is to send a full epoch). Deltas commute with nothing — the
+// controller applies them in arrival order.
+//
+// Producers may be sloppy about add/update classification: the controller
+// normalizes an "updated" scan whose id is unknown into an add, an "added"
+// scan whose id is present into an update, and ignores removals of unknown
+// ids (each normalization is counted). What producers must NOT do is omit a
+// change — the golden equivalence suite (tests/test_fleet_delta.cpp) pins
+// that a faithfully diffed delta stream reproduces the full-epoch plan
+// stream byte for byte.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "flowsim/scan.hpp"
+
+namespace w11::fleet {
+
+struct DeltaEpoch {
+  Time taken_at{};       // census timestamp this delta advances to
+  Time base_taken_at{};  // adopted epoch this delta was diffed against
+  std::vector<ApScan> added;
+  std::vector<ApScan> updated;
+  std::vector<ApId> removed;
+
+  [[nodiscard]] bool empty() const {
+    return added.empty() && updated.empty() && removed.empty();
+  }
+  [[nodiscard]] std::size_t touched() const {
+    return added.size() + updated.size() + removed.size();
+  }
+};
+
+// Diff two censuses into a delta (base at `base_at` -> next at `next_at`).
+// Scans are matched by id; an AP present in both with field-wise-unequal
+// scans lands in `updated`. Output vectors are in ascending id order, so
+// equal census pairs diff to byte-equal deltas regardless of input order.
+// O(n log n) — this is the reference producer for tests and for collectors
+// that only have snapshot pairs; a real churn-aware collector emits deltas
+// directly in O(churn).
+[[nodiscard]] DeltaEpoch diff_epochs(const std::vector<ApScan>& base,
+                                     const std::vector<ApScan>& next,
+                                     Time base_at, Time next_at);
+
+}  // namespace w11::fleet

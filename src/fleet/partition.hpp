@@ -12,21 +12,27 @@
 //     epochs as long as that AP stays present, independent of scan order
 //     and of how many other campuses exist; it is the identity the cadence
 //     scheduler and RNG stream derivation hang off.
-//   * members — per-campus scan vectors, in epoch order, so a campus's
-//     planning input is byte-identical to the corresponding slice of the
-//     fleet epoch.
+//   * members — per-campus scan vectors in *canonical* (ascending ApId)
+//     order, independent of the input's scan order. Canonical order is what
+//     makes the delta-epoch path (DESIGN.md §16) byte-equivalent to full
+//     re-partitioning: a dirty-component re-extraction feeds partition_fleet
+//     a concatenation of cached slices plus added scans, which generally is
+//     NOT the original epoch order — sorting each campus by id erases that
+//     difference, so a campus's planning input depends only on its member
+//     *set* and their scan contents.
 
 #include <cstdint>
 #include <vector>
 
 #include "common/units.hpp"
+#include "flowsim/contention.hpp"
 #include "flowsim/scan.hpp"
 
 namespace w11::fleet {
 
 struct Campus {
   std::uint32_t key = 0;             // min ApId value among members
-  std::vector<ApScan> scans;         // members, epoch order
+  std::vector<ApScan> scans;         // members, ascending ApId order
 };
 
 struct FleetPartition {
@@ -37,10 +43,20 @@ struct FleetPartition {
   std::size_t largest_campus = 0;
 };
 
+// Reusable extraction buffers. The delta path runs one extraction per dirty
+// component pool per adopted delta, so the component output, the union-find
+// scratch and the sort keys are recycled across calls instead of reallocated.
+struct PartitionScratch {
+  flowsim::ContentionComponents components;
+  flowsim::ContentionScratch uf;
+};
+
 // Partition one scan epoch with the same contender floor the planner will
-// use. Equal epochs give byte-equal partitions at any worker count (the
-// component pass is serial; extraction preserves epoch order).
+// use. Equal member sets with equal scan contents give byte-equal partitions
+// at any worker count and for ANY input order (the component pass is serial;
+// extraction emits canonical id-ascending slices). `scratch` may be nullptr.
 [[nodiscard]] FleetPartition partition_fleet(const std::vector<ApScan>& scans,
-                                             Dbm contender_rssi_floor);
+                                             Dbm contender_rssi_floor,
+                                             PartitionScratch* scratch = nullptr);
 
 }  // namespace w11::fleet

@@ -60,6 +60,21 @@ CadenceScheduler::CadenceScheduler(Cadence cadence, std::uint64_t seed)
             cadence_.slow > Time{0});
 }
 
+void CadenceScheduler::add_campus(std::uint32_t key, Time now) {
+  CampusState st;
+  // Anchor each tier on the campus's own phase grid so steady-state
+  // firings are staggered; the first full pass runs now regardless.
+  st.last_fast = grid_align(now, phase_of(seed_, key, 0, cadence_.fast),
+                            cadence_.fast);
+  st.last_medium = grid_align(now, phase_of(seed_, key, 1, cadence_.medium),
+                              cadence_.medium);
+  st.last_slow = grid_align(now, phase_of(seed_, key, 2, cadence_.slow),
+                            cadence_.slow);
+  campuses_.emplace(key, st);
+  ++stats_.campuses_added;
+  W11_COUNT("fleet.sched.campus_added");
+}
+
 void CadenceScheduler::sync(const std::vector<std::uint32_t>& keys, Time now) {
   // Drop campuses absent from this epoch (their APs left the fleet or were
   // re-partitioned under a different key).
@@ -75,18 +90,23 @@ void CadenceScheduler::sync(const std::vector<std::uint32_t>& keys, Time now) {
   }
   for (const std::uint32_t key : keys) {
     if (campuses_.contains(key)) continue;
-    CampusState st;
-    // Anchor each tier on the campus's own phase grid so steady-state
-    // firings are staggered; the first full pass runs now regardless.
-    st.last_fast = grid_align(now, phase_of(seed_, key, 0, cadence_.fast),
-                              cadence_.fast);
-    st.last_medium = grid_align(now, phase_of(seed_, key, 1, cadence_.medium),
-                                cadence_.medium);
-    st.last_slow = grid_align(now, phase_of(seed_, key, 2, cadence_.slow),
-                              cadence_.slow);
-    campuses_.emplace(key, st);
-    ++stats_.campuses_added;
-    W11_COUNT("fleet.sched.campus_added");
+    add_campus(key, now);
+  }
+}
+
+void CadenceScheduler::apply_delta(const std::vector<std::uint32_t>& added,
+                                   const std::vector<std::uint32_t>& dropped,
+                                   Time now) {
+  for (const std::uint32_t key : dropped) {
+    const auto it = campuses_.find(key);
+    if (it == campuses_.end()) continue;
+    campuses_.erase(it);
+    ++stats_.campuses_dropped;
+    W11_COUNT("fleet.sched.campus_dropped");
+  }
+  for (const std::uint32_t key : added) {
+    if (campuses_.contains(key)) continue;
+    add_campus(key, now);
   }
 }
 

@@ -64,6 +64,16 @@ class CadenceScheduler {
   // pending state.
   void sync(const std::vector<std::uint32_t>& keys, Time now);
 
+  // O(churn) reconcile for the delta-epoch path: only the keys named are
+  // touched — `added` campuses get the same staggered anchors and
+  // first-sighting kSlow pass sync() would give them (a re-keyed campus is
+  // a first sighting: its identity, RNG streams and anchors all hang off
+  // the key), `dropped` campuses lose their pending state. Keys in neither
+  // list are untouched, so for equal resulting key sets at equal times the
+  // scheduler state is byte-identical to a full sync().
+  void apply_delta(const std::vector<std::uint32_t>& added,
+                   const std::vector<std::uint32_t>& dropped, Time now);
+
   // Out-of-band NBO(0) for one campus; unknown keys are ignored.
   void request_replan(std::uint32_t campus_key);
 
@@ -87,6 +97,8 @@ class CadenceScheduler {
     bool replan_pending = false;
     bool first_run_pending = true;  // plan on first sighting
   };
+
+  void add_campus(std::uint32_t key, Time now);
 
   Cadence cadence_;
   std::uint64_t seed_;

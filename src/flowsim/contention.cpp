@@ -1,7 +1,6 @@
 #include "flowsim/contention.hpp"
 
 #include <numeric>
-#include <unordered_map>
 
 namespace w11::flowsim {
 
@@ -18,24 +17,37 @@ std::uint32_t find_root(std::vector<std::uint32_t>& parent, std::uint32_t x) {
 
 }  // namespace
 
-ContentionComponents contender_components(const std::vector<ApScan>& scans,
-                                          Dbm contender_rssi_floor) {
+void contender_components(const std::vector<ApScan>& scans,
+                          Dbm contender_rssi_floor, ContentionComponents& out,
+                          ContentionScratch* scratch) {
   const std::size_t n = scans.size();
-  ContentionComponents out;
+  // Recycle the output buffers: shrink the members spine without freeing the
+  // per-component vectors (clear keeps their capacity for the next call).
+  out.count = 0;
+  out.label.clear();
   out.label.resize(n);
-  if (n == 0) return out;
+  for (std::vector<std::uint32_t>& m : out.members) m.clear();
+  if (n == 0) {
+    out.members.clear();
+    return;
+  }
 
-  std::unordered_map<ApId, std::uint32_t> by_id;
-  by_id.reserve(n);
+  ContentionScratch local;
+  ContentionScratch& s = scratch ? *scratch : local;
+
+  s.by_id.clear();
+  s.by_id.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
-    by_id.emplace(scans[i].id, static_cast<std::uint32_t>(i));
+    s.by_id.emplace(scans[i].id, static_cast<std::uint32_t>(i));
 
   // Union by size keeps find() near-O(1); the tie-break (smaller root index
   // wins on equal size) is irrelevant to the output — labels are re-derived
   // from first-appearance order below — but keeps the walk deterministic.
-  std::vector<std::uint32_t> parent(n);
+  std::vector<std::uint32_t>& parent = s.parent;
+  std::vector<std::uint32_t>& size = s.size;
+  parent.resize(n);
   std::iota(parent.begin(), parent.end(), 0u);
-  std::vector<std::uint32_t> size(n, 1);
+  size.assign(n, 1);
   auto unite = [&](std::uint32_t a, std::uint32_t b) {
     a = find_root(parent, a);
     b = find_root(parent, b);
@@ -47,19 +59,19 @@ ContentionComponents contender_components(const std::vector<ApScan>& scans,
 
   for (std::size_t i = 0; i < n; ++i) {
     for (const NeighborReport& nb : scans[i].neighbors) {
-      const auto it = by_id.find(nb.id);
-      if (it == by_id.end()) continue;               // absent from the epoch
-      if (nb.rssi < contender_rssi_floor) continue;  // ScanIndex's edge rule
+      const auto it = s.by_id.find(nb.id);
+      if (it == s.by_id.end()) continue;              // absent from the epoch
+      if (nb.rssi < contender_rssi_floor) continue;   // ScanIndex's edge rule
       unite(static_cast<std::uint32_t>(i), it->second);
     }
   }
 
   // Dense labels in first-appearance order.
-  std::unordered_map<std::uint32_t, std::uint32_t> label_of_root;
-  label_of_root.reserve(n);
+  s.label_of_root.clear();
+  s.label_of_root.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t root = find_root(parent, static_cast<std::uint32_t>(i));
-    const auto [it, inserted] = label_of_root.emplace(
+    const auto [it, inserted] = s.label_of_root.emplace(
         root, static_cast<std::uint32_t>(out.count));
     if (inserted) ++out.count;
     out.label[i] = it->second;
@@ -67,6 +79,12 @@ ContentionComponents contender_components(const std::vector<ApScan>& scans,
   out.members.resize(out.count);
   for (std::size_t i = 0; i < n; ++i)
     out.members[out.label[i]].push_back(static_cast<std::uint32_t>(i));
+}
+
+ContentionComponents contender_components(const std::vector<ApScan>& scans,
+                                          Dbm contender_rssi_floor) {
+  ContentionComponents out;
+  contender_components(scans, contender_rssi_floor, out, nullptr);
   return out;
 }
 

@@ -18,8 +18,10 @@
 // through that listener's airtime term).
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
+#include "common/ids.hpp"
 #include "common/units.hpp"
 #include "flowsim/scan.hpp"
 
@@ -37,6 +39,27 @@ struct ContentionComponents {
   std::vector<std::vector<std::uint32_t>> members;
 };
 
+// Reusable working storage for contender_components. The union-find arrays,
+// the id lookup map and the root-label map are the per-call allocation churn
+// — a delta-epoch controller runs an extraction per *dirty component*, so
+// callers on that path hold one scratch and amortize the allocations across
+// epochs. A default-constructed scratch is always valid; contents between
+// calls are meaningless to the caller.
+struct ContentionScratch {
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint32_t> size;
+  std::unordered_map<ApId, std::uint32_t> by_id;
+  std::unordered_map<std::uint32_t, std::uint32_t> label_of_root;
+};
+
+// Compute into `out`, recycling its buffers (label capacity, the members
+// spine and each member list's capacity survive across calls). `scratch`
+// may be nullptr (a call-local scratch is used).
+void contender_components(const std::vector<ApScan>& scans,
+                          Dbm contender_rssi_floor, ContentionComponents& out,
+                          ContentionScratch* scratch = nullptr);
+
+// Value-returning convenience wrapper (fresh buffers every call).
 [[nodiscard]] ContentionComponents contender_components(
     const std::vector<ApScan>& scans, Dbm contender_rssi_floor);
 

@@ -21,6 +21,9 @@ namespace w11 {
 struct NeighborReport {
   ApId id;
   Dbm rssi = -100.0;
+
+  friend bool operator==(const NeighborReport&,
+                         const NeighborReport&) = default;
 };
 
 struct ApScan {
@@ -61,6 +64,10 @@ struct ApScan {
     for (const auto& [w, l] : load_by_width) sum += l;
     return sum;
   }
+
+  // Field-wise equality — what the delta-epoch differ (fleet/delta.hpp)
+  // uses to decide whether a scan changed between censuses.
+  friend bool operator==(const ApScan&, const ApScan&) = default;
 };
 
 // A channel plan: assignment for every AP in the network.

@@ -15,13 +15,11 @@
 
 namespace w11::flowsim {
 
-namespace {
-
 // FNV-1a over the scan fields the aggregate row depends on (the
 // external_util and quality maps — compute_stats reads nothing else).
 // std::map iteration is key-ordered, so equal content hashes equally
 // regardless of insertion history.
-std::uint64_t stats_content_hash(const ApScan& s) {
+std::uint64_t ScanStatsCache::content_hash(const ApScan& s) {
   std::uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](const void* p, std::size_t n) {
     const auto* bytes = static_cast<const unsigned char*>(p);
@@ -42,8 +40,6 @@ std::uint64_t stats_content_hash(const ApScan& s) {
   mix_map(s.quality);
   return h;
 }
-
-}  // namespace
 
 ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor,
                      exec::TaskPool* pool, ScanStatsCache* stats_cache)
@@ -118,7 +114,7 @@ ScanIndex::ScanIndex(std::vector<ApScan> scans, Dbm contender_rssi_floor,
   if (stats_cache != nullptr) {
     row_hash.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      row_hash[i] = stats_content_hash(scans_[i]);
+      row_hash[i] = ScanStatsCache::content_hash(scans_[i]);
       const auto it = stats_cache->rows_.find(row_hash[i]);
       if (it != stats_cache->rows_.end()) {
         cached_row[i] = it->second.row.data();

@@ -79,6 +79,12 @@ class ScanStatsCache {
     std::uint64_t evictions = 0;  // rows dropped to admit newer ones
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // The key a scan's aggregate row is cached under: FNV-1a over exactly
+  // the fields compute_stats reads (the external_util and quality maps,
+  // key-ordered). Public so delta producers and tests can reason about
+  // reuse: equal hash ⇔ the cached row is byte-valid for this scan.
+  [[nodiscard]] static std::uint64_t content_hash(const ApScan& scan);
   [[nodiscard]] std::size_t size() const { return rows_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 

@@ -131,6 +131,98 @@ void churn_spectrum(std::vector<ApScan>& scans, double fraction,
   }
 }
 
+fleet::DeltaEpoch evolve_population(std::vector<ApScan>& scans,
+                                    const FleetPopulationConfig& pop,
+                                    double spectrum_fraction,
+                                    double member_fraction, std::uint64_t seed,
+                                    std::uint32_t& next_id, Time base_at,
+                                    Time now) {
+  fleet::DeltaEpoch d;
+  d.taken_at = now;
+  d.base_taken_at = base_at;
+  const Rng root(seed);
+  const std::vector<Channel> comps =
+      channels::us_catalog(pop.band, ChannelWidth::MHz20);
+  const std::vector<Channel> cands =
+      channels::candidate_set(pop.band, ChannelWidth::MHz40, false);
+
+  // Removals first (an AP picked for both removal and spectrum churn is
+  // simply removed). Per-position coins on independent streams, so the
+  // draw for AP i never shifts with fleet size or other churn.
+  std::vector<std::size_t> removed_pos;
+  if (member_fraction > 0.0) {
+    const Rng mroot = root.fork(0xD00DULL);
+    for (std::size_t i = 0; i < scans.size(); ++i)
+      if (mroot.fork(i).bernoulli(member_fraction)) removed_pos.push_back(i);
+    // Never empty the census entirely.
+    if (removed_pos.size() == scans.size() && !removed_pos.empty())
+      removed_pos.pop_back();
+  }
+  std::vector<bool> removed(scans.size(), false);
+  for (const std::size_t i : removed_pos) removed[i] = true;
+
+  // Spectrum churn on survivors; touched scans are restamped and become
+  // the delta's updated set.
+  if (spectrum_fraction > 0.0) {
+    for (std::size_t i = 0; i < scans.size(); ++i) {
+      if (removed[i]) continue;
+      Rng arng = root.fork(i);
+      if (!arng.bernoulli(spectrum_fraction)) continue;
+      roll_spectrum(scans[i], comps, arng);
+      scans[i].taken_at = now;
+      d.updated.push_back(scans[i]);
+    }
+  }
+
+  // Erase removals (descending, positions stay valid; ids stay ascending).
+  for (const std::size_t i : removed_pos) d.removed.push_back(scans[i].id);
+  for (auto it = removed_pos.rbegin(); it != removed_pos.rend(); ++it)
+    scans.erase(scans.begin() + static_cast<std::ptrdiff_t>(*it));
+
+  // Additions replace removals 1:1, with fresh ids above everything ever
+  // issued. Edges are one-sided (the new AP reports the survivor) — enough
+  // for the contender union, and it keeps the survivor's scan unchanged,
+  // which is exactly the hard case for the controller's dirty marking.
+  const Rng aroot = root.fork(0xADDEDULL);
+  for (std::size_t k = 0; k < removed_pos.size(); ++k) {
+    Rng arng = aroot.fork(k);
+    ApScan s;
+    s.id = ApId(next_id++);
+    s.band = pop.band;
+    s.current = cands[arng.index(cands.size())];
+    s.max_width = ChannelWidth::MHz80;
+    s.has_clients = arng.bernoulli(0.7);
+    s.dfs_capable = true;
+    s.load_by_width[ChannelWidth::MHz20] = arng.uniform(0.05, 0.3);
+    if (arng.bernoulli(0.5))
+      s.load_by_width[ChannelWidth::MHz40] = arng.uniform(0.05, 0.4);
+    roll_spectrum(s, comps, arng);
+    s.taken_at = now;
+    if (!scans.empty()) {
+      const double kind = arng.uniform(0.0, 1.0);
+      if (kind < 0.45) {
+        // Attach to one surviving AP (joins its campus).
+        const std::size_t j = arng.index(scans.size());
+        s.neighbors.push_back(
+            NeighborReport{scans[j].id, arng.uniform(-75.0, -55.0)});
+      } else if (kind < 0.75) {
+        // Bridge two surviving APs (merges their campuses if distinct).
+        const std::size_t j1 = arng.index(scans.size());
+        const std::size_t j2 = arng.index(scans.size());
+        s.neighbors.push_back(
+            NeighborReport{scans[j1].id, arng.uniform(-75.0, -55.0)});
+        if (scans[j2].id != scans[j1].id)
+          s.neighbors.push_back(
+              NeighborReport{scans[j2].id, arng.uniform(-75.0, -55.0)});
+      }
+      // else: singleton campus.
+    }
+    d.added.push_back(s);
+    scans.push_back(std::move(s));
+  }
+  return d;
+}
+
 FleetScenarioResult run_fleet_scenario(const FleetScenarioConfig& cfg) {
   FleetScenarioResult res;
   fleet::FleetController controller(cfg.controller);
@@ -150,21 +242,57 @@ FleetScenarioResult run_fleet_scenario(const FleetScenarioConfig& cfg) {
                          out.netp_log, out.improved, out.plan_seconds);
   });
 
+  // One local census is the single source of truth for both replay modes:
+  // evolve_population mutates it in place and describes the change as a
+  // DeltaEpoch; the controller is fed either the delta or a full copy.
   std::vector<ApScan> scans = make_fleet_scans(cfg.population, Time{});
+  std::uint32_t next_id =
+      scans.empty() ? 0 : scans.back().id.value() + 1;
+  Time last_at{};
   for (int p = 0; p < cfg.polls; ++p) {
     const Time t = time::nanos((p + 1) * cfg.poll.ns());
-    if (p > 0)
-      churn_spectrum(scans, cfg.churn_fraction,
-                     cfg.population.seed ^ static_cast<std::uint64_t>(p));
-    for (ApScan& s : scans) s.taken_at = t;
-    controller.offer_epoch(fleet::ScanEpoch{t, scans});
+    fleet::DeltaEpoch delta;
+    if (p == 0) {
+      // First sighting is always a full census.
+      for (ApScan& s : scans) s.taken_at = t;
+      controller.offer_epoch(fleet::ScanEpoch{t, scans});
+    } else {
+      delta = evolve_population(
+          scans, cfg.population, cfg.churn_fraction, cfg.member_churn,
+          cfg.population.seed ^ static_cast<std::uint64_t>(p), next_id,
+          last_at, t);
+      if (cfg.use_deltas) {
+        controller.offer_delta(delta);
+      } else {
+        controller.offer_epoch(fleet::ScanEpoch{t, scans});
+      }
+    }
     controller.tick(t);
+    last_at = t;
     if (cfg.attach_telemetry) {
-      // The interval's telemetry: one bulk append per campus poll.
-      controller.for_each_campus(
-          [&](std::uint32_t key, const std::vector<ApScan>& campus) {
-            ingest.ingest_scans(key, campus, t);
-          });
+      // O(churn) telemetry fan-out: only campuses the poll touched land
+      // rows this interval (the first full census polls everyone). The
+      // touched set is derived from the delta in *both* replay modes, so
+      // row counts match between them.
+      if (p == 0) {
+        controller.for_each_campus(
+            [&](std::uint32_t key, const std::vector<ApScan>& campus) {
+              ingest.ingest_scans(key, campus, t);
+            });
+      } else {
+        std::vector<std::uint32_t> touched;
+        const auto note = [&](ApId id) {
+          if (const auto key = controller.campus_of(id)) touched.push_back(*key);
+        };
+        for (const ApScan& s : delta.added) note(s.id);
+        for (const ApScan& s : delta.updated) note(s.id);
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
+        for (const std::uint32_t key : touched)
+          if (const std::vector<ApScan>* campus = controller.campus_scans(key))
+            ingest.ingest_scans(key, *campus, t);
+      }
     }
   }
 

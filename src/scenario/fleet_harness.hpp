@@ -52,12 +52,38 @@ struct FleetPopulationConfig {
 void churn_spectrum(std::vector<ApScan>& scans, double fraction,
                     std::uint64_t seed);
 
+// One poll's worth of deterministic population churn, applied to the
+// producer's local census in place and described as a DeltaEpoch against
+// it. Three kinds of change, all keyed by (seed, position / ordinal):
+//
+//   * spectrum churn on ~spectrum_fraction of surviving APs (taken_at
+//     restamped to `now` on exactly the touched scans);
+//   * removals on ~member_fraction of APs — their neighbors keep their now
+//     dangling reports, exercising the controller's ghost bookkeeping;
+//   * additions replacing removals 1:1 with fresh monotonically increasing
+//     ids (`next_id` threads through polls): a mix of singletons, APs
+//     attaching to one surviving AP, and APs bridging two — the latter can
+//     merge campuses, so delta replay exercises re-keying.
+//
+// `scans` stays id-ascending throughout. The same census trajectory can be
+// offered as full ScanEpochs or as the returned deltas; the controller
+// must produce byte-identical plan streams either way.
+[[nodiscard]] fleet::DeltaEpoch evolve_population(
+    std::vector<ApScan>& scans, const FleetPopulationConfig& pop,
+    double spectrum_fraction, double member_fraction, std::uint64_t seed,
+    std::uint32_t& next_id, Time base_at, Time now);
+
 struct FleetScenarioConfig {
   FleetPopulationConfig population;
   fleet::FleetController::Config controller;
   int polls = 3;
   Time poll = time::minutes(15);
-  double churn_fraction = 0.25;
+  double churn_fraction = 0.25;  // spectrum churn per poll
+  double member_churn = 0.0;     // AP add/remove fraction per poll
+  // After the first full census, offer DeltaEpochs instead of full
+  // ScanEpochs. The census trajectory is identical either way (the same
+  // evolve_population stream drives both), so the plan digest must match.
+  bool use_deltas = false;
   bool attach_ctrl = true;       // fan plans out into per-campus PlanStores
   bool attach_telemetry = true;  // batched per-campus LittleTable ingest
   Time telemetry_max_age{0};     // retention on the fleet AP table (0 = off)

@@ -25,20 +25,22 @@ class FleetIngest {
         plan_stats_("fleet_plans",
                     {"n_aps", "netp_log", "improved", "plan_seconds"}) {}
 
-  // One campus's slice of a polling interval: one reserve, one bulk append.
+  // One campus's slice of a polling interval: one reserve, one bulk
+  // append, staged through a scratch batch whose capacity persists across
+  // polls (steady-state ingest allocates no outer batch vector).
   void ingest_scans(std::uint32_t campus_key,
                     const std::vector<ApScan>& scans, Time at) {
-    std::vector<LittleTable::Row> batch;
-    batch.reserve(scans.size());
+    scratch_.clear();
+    scratch_.reserve(scans.size());
     for (const ApScan& s : scans) {
-      batch.push_back(LittleTable::Row{
+      scratch_.push_back(LittleTable::Row{
           s.id.value(), at,
           {static_cast<double>(campus_key), s.utilization_current,
            s.total_load(), static_cast<double>(s.neighbors.size())}});
     }
-    rows_ingested_ += batch.size();
-    W11_COUNT_N("telemetry.fleet_rows", batch.size());
-    ap_stats_.append(std::move(batch));
+    rows_ingested_ += scratch_.size();
+    W11_COUNT_N("telemetry.fleet_rows", scratch_.size());
+    ap_stats_.append_reusing(scratch_);
   }
 
   // One delivered campus plan (entity = campus key).
@@ -61,6 +63,7 @@ class FleetIngest {
  private:
   LittleTable ap_stats_;
   LittleTable plan_stats_;
+  std::vector<LittleTable::Row> scratch_;  // reused across ingest_scans calls
   std::uint64_t rows_ingested_ = 0;
   std::uint64_t plans_ingested_ = 0;
 };

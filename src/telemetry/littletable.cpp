@@ -33,7 +33,9 @@ void LittleTable::reserve_rows(std::size_t rows) {
   rows_.reserve(rows_.size() + rows);
 }
 
-void LittleTable::append(std::vector<Row> batch) {
+void LittleTable::append(std::vector<Row> batch) { append_reusing(batch); }
+
+void LittleTable::append_reusing(std::vector<Row>& batch) {
   if (batch.empty()) return;
   for (const Row& r : batch)
     W11_CHECK_MSG(r.values.size() == columns_.size(), "schema width mismatch");
@@ -54,6 +56,7 @@ void LittleTable::append(std::vector<Row> batch) {
     oldest_ = std::min(oldest_, r.at);
   }
   std::move(batch.begin(), batch.end(), std::back_inserter(rows_));
+  batch.clear();
   maybe_compact();
 }
 

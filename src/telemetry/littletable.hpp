@@ -49,6 +49,11 @@ class LittleTable {
   // single reserve and no per-row sorted_ bookkeeping.
   void append(std::vector<Row> batch);
 
+  // Same, for callers that reuse one scratch batch across polls: rows are
+  // moved out and `batch` is cleared with its capacity intact, so a
+  // steady-state campus poll allocates no outer batch vector at all.
+  void append_reusing(std::vector<Row>& batch);
+
   // All rows in [from, to], optionally restricted to one entity.
   [[nodiscard]] std::vector<Row> query(Time from, Time to,
                                        std::optional<std::uint32_t> entity =

@@ -280,9 +280,11 @@ TEST(FleetControllerTest, EndToEndPipelineDeliversEveryCampus) {
   EXPECT_EQ(r.plans_committed, r.stats.plans_delivered);
   EXPECT_EQ(r.ctrl_campuses, r.campuses);
   EXPECT_EQ(r.plan_seconds.size(), r.stats.plans_delivered);
-  // Batched ingest: one row per AP per poll.
-  EXPECT_EQ(r.telemetry_rows,
-            r.fleet_aps * static_cast<std::uint64_t>(3));
+  // Batched ingest: the first full census lands one row per AP; later
+  // polls fan out only the campuses the churn touched (O(churn), not
+  // O(fleet)) — so strictly between one full poll and all three.
+  EXPECT_GE(r.telemetry_rows, r.fleet_aps);
+  EXPECT_LT(r.telemetry_rows, r.fleet_aps * static_cast<std::uint64_t>(3));
   // The assignment of record covers the whole fleet.
   EXPECT_EQ(r.final_plan.size(), r.fleet_aps);
   EXPECT_NE(r.digest, 0u);
