@@ -155,6 +155,15 @@ int run_worker_sweep() {
       "spectrum churn leaves the stats caches warm (hit rate > 25%)",
       base.stats.cache_hits * 4 >
           base.stats.cache_hits + base.stats.cache_misses);
+  bool health_clean = true;
+  for (const WorkerRun& run : runs)
+    health_clean = health_clean && run.r.health.epochs_dropped == 0 &&
+                   run.r.health.plans_delivered ==
+                       run.r.stats.plans_delivered;
+  bench::shape_check(
+      "pipeline health is clean at every worker count (no epochs dropped; "
+      "health() agrees with the delivery stats)",
+      health_clean);
 
   // --- JSON artifact -------------------------------------------------------
   if (std::string(build_type()) != "release") {
@@ -193,6 +202,11 @@ int run_worker_sweep() {
       w.field("ingest_rows_per_sec",
               static_cast<double>(run.r.telemetry_rows) / run.wall_s);
       w.field("jobs_deferred", run.r.stats.jobs_deferred);
+      w.field("epochs_dropped", run.r.health.epochs_dropped);
+      w.field("epochs_dropped_rate", run.r.health.epochs_dropped_rate);
+      w.field("ingest_high_water", run.r.health.ingest_high_water);
+      w.field("output_high_water", run.r.health.output_high_water);
+      w.field("cache_hit_ratio", run.r.health.cache_hit_ratio);
       w.field("cache_hits", run.r.stats.cache_hits);
       w.field("cache_misses", run.r.stats.cache_misses);
       w.field("cache_evictions", run.r.stats.cache_evictions);

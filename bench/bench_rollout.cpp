@@ -177,6 +177,38 @@ int main() {
       "plan, fault log)",
       twin_ok);
 
+  // --- fleet health engine + flight recorder demo --------------------------
+  // Sequential on purpose: a health run owns the process-global
+  // tracer/metrics registries, so it must never share them with a
+  // concurrent twin. The faulty shape above guarantees reverts, so the
+  // recorder dumps postmortems — and they must be byte-identical whether
+  // the planner scored on 1 worker or 4.
+  auto health_cfg = [](exec::TaskPool* p) {
+    scenario::RolloutScenarioConfig cfg = sweep_config(1, 62, 16);
+    cfg.health = true;
+    cfg.pool = p;
+    return cfg;
+  };
+  exec::TaskPool hp1(1);
+  exec::TaskPool hp4(4);
+  const auto h1 = scenario::run_rollout_scenario(health_cfg(&hp1));
+  const auto h4 = scenario::run_rollout_scenario(health_cfg(&hp4));
+  const bool postmortems_ok = !h1.postmortems.empty() &&
+                              h1.postmortems == h4.postmortems &&
+                              h1.health_events_jsonl == h4.health_events_jsonl;
+  bench::shape_check(
+      "auto-revert chaos dumps postmortem bundles, byte-identical at 1 vs 4 "
+      "planner workers",
+      postmortems_ok);
+  bench::shape_check(
+      "SLO burn-rate alerting paged on the reverts and recovered after",
+      h1.health_breaches > 0 && h1.health_recoveries > 0);
+  std::cout << "  health: " << h1.health_breaches << " breaches, "
+            << h1.health_recoveries << " recoveries, "
+            << h1.postmortems.size() << " postmortems retained ("
+            << h1.rollout_health.reverted << " reverts, revert rate "
+            << h1.rollout_health.revert_rate << ")\n";
+
   // --- JSON artifact -------------------------------------------------------
   {
     std::ofstream os("BENCH_rollout.json");
@@ -185,6 +217,14 @@ int main() {
     w.field("bench", "rollout");
     w.field("runs", static_cast<std::int64_t>(all_runs));
     w.field("twin_audit_identical", twin_ok);
+    w.key("health").begin_object();
+    w.field("breaches", h1.health_breaches);
+    w.field("recoveries", h1.health_recoveries);
+    w.field("health_rows", h1.health_rows);
+    w.field("postmortems", static_cast<std::uint64_t>(h1.postmortems.size()));
+    w.field("postmortems_identical_across_workers", postmortems_ok);
+    w.field("reverted", h1.rollout_health.reverted);
+    w.end_object();
     w.key("intensities").begin_array();
     for (const auto& r : rows) {
       w.begin_object();

@@ -1,6 +1,7 @@
 #include "ctrl/rollout.hpp"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -57,8 +58,14 @@ const char* to_string(RolloutAudit::Record::Kind k) {
 }  // namespace
 
 void RolloutAudit::write_jsonl(std::ostream& os) const {
+  write_jsonl(os, time::nanos(std::numeric_limits<std::int64_t>::min()),
+              time::nanos(std::numeric_limits<std::int64_t>::max()));
+}
+
+void RolloutAudit::write_jsonl(std::ostream& os, Time from, Time to) const {
   using Kind = Record::Kind;
   for (const Record& r : records_) {
+    if (r.at_ns < from.ns() || r.at_ns > to.ns()) continue;
     json::Writer w(os);
     w.begin_object();
     w.field("event", to_string(r.kind));

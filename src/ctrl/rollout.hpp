@@ -97,6 +97,9 @@ class RolloutAudit {
 
   // One JSON object per line; byte-deterministic (common/json_writer rules).
   void write_jsonl(std::ostream& os) const;
+  // Records with at_ns in [from, to] only — the flight recorder's
+  // postmortem window cut.
+  void write_jsonl(std::ostream& os, Time from, Time to) const;
   [[nodiscard]] std::string jsonl() const;
 
  private:
@@ -132,6 +135,19 @@ class RolloutCoordinator {
     std::function<void()> request_replan;
     // Current channel of an AP (selects the switch set and revert targets).
     std::function<Channel(std::uint32_t ap)> channel_of;
+  };
+
+  // Condensed health snapshot for bench mains and the fleet health engine
+  // (plain types only — no obs dependency).
+  struct Health {
+    std::uint64_t rollouts_started = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t reverted = 0;
+    double revert_rate = 0.0;  // reverted / completed rollouts
+    std::uint64_t reverts_watchdog = 0;
+    std::uint64_t radar_pins = 0;
+    double last_convergence_s = 0.0;
+    bool active = false;
   };
 
   struct Stats {
@@ -171,6 +187,21 @@ class RolloutCoordinator {
   [[nodiscard]] RevertReason revert_reason() const { return revert_reason_; }
   [[nodiscard]] std::uint64_t target_version() const { return version_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Health health() const {
+    Health h;
+    h.rollouts_started = stats_.rollouts_started;
+    h.committed = stats_.committed;
+    h.reverted = stats_.reverted;
+    const std::uint64_t done = stats_.committed + stats_.reverted;
+    h.revert_rate =
+        done > 0 ? static_cast<double>(stats_.reverted) / static_cast<double>(done)
+                 : 0.0;
+    h.reverts_watchdog = stats_.reverts_watchdog;
+    h.radar_pins = stats_.radar_pins;
+    h.last_convergence_s = last_convergence_.sec();
+    h.active = active();
+    return h;
+  }
   [[nodiscard]] RolloutAudit& audit() { return audit_; }
   [[nodiscard]] const RolloutAudit& audit() const { return audit_; }
   // Sim time from start() to terminal, for the last completed rollout.

@@ -105,6 +105,22 @@ class FleetController {
     exec::TaskPool* pool = nullptr;  // nullptr = TaskPool::global()
   };
 
+  // Condensed pipeline-health snapshot (plain types, derived from Stats +
+  // queue stats) for bench mains and the fleet health engine's SLIs.
+  struct Health {
+    double epochs_dropped_rate = 0.0;  // dropped / offered epochs
+    double jobs_deferred_rate = 0.0;   // deferred / (run + deferred)
+    double cache_hit_ratio = 0.0;      // hits / (hits + misses)
+    std::uint64_t epochs_dropped = 0;
+    std::uint64_t jobs_deferred = 0;
+    std::uint64_t ingest_high_water = 0;
+    std::uint64_t output_high_water = 0;
+    std::uint64_t output_rejected = 0;
+    std::uint64_t plans_delivered = 0;
+    std::size_t campuses = 0;
+    std::size_t fleet_aps = 0;
+  };
+
   struct Stats {
     std::uint64_t ticks = 0;
     std::uint64_t epochs_adopted = 0;
@@ -165,6 +181,35 @@ class FleetController {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] QueueStats ingest_stats() const { return ingest_.stats(); }
   [[nodiscard]] QueueStats output_stats() const { return out_.stats(); }
+  [[nodiscard]] Health health() const {
+    Health h;
+    const QueueStats in_q = ingest_stats();
+    const QueueStats out_q = output_stats();
+    const std::uint64_t offered = in_q.pushed + in_q.rejected;
+    h.epochs_dropped = in_q.rejected;
+    h.epochs_dropped_rate =
+        offered > 0
+            ? static_cast<double>(in_q.rejected) / static_cast<double>(offered)
+            : 0.0;
+    const std::uint64_t jobs = stats_.jobs_run + stats_.jobs_deferred;
+    h.jobs_deferred = stats_.jobs_deferred;
+    h.jobs_deferred_rate =
+        jobs > 0 ? static_cast<double>(stats_.jobs_deferred) /
+                       static_cast<double>(jobs)
+                 : 0.0;
+    const std::uint64_t probes = stats_.cache_hits + stats_.cache_misses;
+    h.cache_hit_ratio =
+        probes > 0 ? static_cast<double>(stats_.cache_hits) /
+                         static_cast<double>(probes)
+                   : 0.0;
+    h.ingest_high_water = in_q.high_water;
+    h.output_high_water = out_q.high_water;
+    h.output_rejected = out_q.rejected;
+    h.plans_delivered = stats_.plans_delivered;
+    h.campuses = campus_count();
+    h.fleet_aps = fleet_aps_;
+    return h;
+  }
   [[nodiscard]] const CadenceScheduler& scheduler() const { return scheduler_; }
   [[nodiscard]] std::size_t campus_count() const { return state_.size(); }
   [[nodiscard]] std::size_t fleet_aps() const { return fleet_aps_; }

@@ -34,7 +34,8 @@ void write_chrome_trace(const TraceRecorder& rec, std::ostream& os) {
   bool first = true;
   for (const TraceCategory cat :
        {TraceCategory::kSim, TraceCategory::kMac, TraceCategory::kFastAck,
-        TraceCategory::kPlanner, TraceCategory::kTelemetry}) {
+        TraceCategory::kPlanner, TraceCategory::kTelemetry,
+        TraceCategory::kCtrl, TraceCategory::kHealth}) {
     if (!first) os << ",";
     first = false;
     os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"

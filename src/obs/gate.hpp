@@ -68,6 +68,19 @@
   } while (0)
 #define W11_COUNT(name_literal) W11_COUNT_N(name_literal, 1)
 
+// Set a named gauge on the process metrics registry (single-writer by
+// contract, like Gauge::set). Same lazy handle shape as W11_COUNT; sites
+// whose gauges must exist before the first hit (rate SLIs over quiet
+// windows) should register eagerly via MetricsRegistry::declare_gauge.
+#define W11_GAUGE_SET(name_literal, v)                                   \
+  do {                                                                   \
+    ::w11::obs::MetricsRegistry& w11_mr = ::w11::obs::metrics();         \
+    if (w11_mr.enabled()) {                                              \
+      static const ::w11::obs::Gauge w11_g = w11_mr.gauge(name_literal); \
+      w11_g.set(static_cast<double>(v));                                 \
+    }                                                                    \
+  } while (0)
+
 // Record one sample into a named fixed-bucket histogram. Buckets default to
 // the registry's power-of-two ladder; register the name explicitly first
 // for custom bounds.
@@ -89,6 +102,7 @@
 #define W11_SCOPED_SPAN(var, kind, ord) ((void)0)
 #define W11_COUNT_N(name_literal, n) ((void)0)
 #define W11_COUNT(name_literal) ((void)0)
+#define W11_GAUGE_SET(name_literal, v) ((void)0)
 #define W11_HISTOGRAM(name_literal, v) ((void)0)
 
 #endif  // W11_OBS

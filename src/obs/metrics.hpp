@@ -94,6 +94,20 @@ class MetricsRegistry {
   [[nodiscard]] Histogram histogram(std::string_view name,
                                     std::vector<double> bounds = {});
 
+  // Eager registration without keeping the handle. The W11_COUNT family
+  // registers lazily on the first *enabled* hit, so a metric whose site
+  // never fired is absent from snapshot() — indistinguishable from zero.
+  // Rate SLIs over quiet windows need the distinction: declare every
+  // metric a health SLI reads up front and a quiet window reads a defined
+  // 0, never a missing name (tests/test_obs.cpp pins the zero-valued
+  // inclusion).
+  void declare_counter(std::string_view name) { (void)counter(name); }
+  void declare_gauge(std::string_view name) { (void)gauge(name); }
+  void declare_histogram(std::string_view name,
+                         std::vector<double> bounds = {}) {
+    (void)histogram(name, std::move(bounds));
+  }
+
   // --- merged view (quiescent points only) -------------------------------
 
   struct HistogramView {

@@ -54,9 +54,13 @@ enum class TraceKind : std::uint16_t {
   kRolloutApply,    // one AP reached kApplied; a = attempts, b = switched
   kRolloutWave,     // one wave launched; ord = wave index, a = wave size
   kRolloutRevert,   // rollout reverted; a = RevertReason, b = APs touched
+  // health (SLO evaluator + flight recorder)
+  kHealthBreach,    // SLO breached; ord = SLO index, a = Severity, b = burn*1e3
+  kHealthRecovery,  // SLO recovered; ord = SLO index, a = Severity, b = burn*1e3
+  kPostmortem,      // flight-recorder bundle dumped; ord = seq, a = Trigger
 };
 
-enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelemetry, kCtrl };
+enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelemetry, kCtrl, kHealth };
 
 [[nodiscard]] constexpr const char* to_string(TraceKind k) {
   switch (k) {
@@ -75,6 +79,9 @@ enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelem
     case TraceKind::kRolloutApply: return "ctrl.rollout_apply";
     case TraceKind::kRolloutWave: return "ctrl.rollout_wave";
     case TraceKind::kRolloutRevert: return "ctrl.rollout_revert";
+    case TraceKind::kHealthBreach: return "health.breach";
+    case TraceKind::kHealthRecovery: return "health.recovery";
+    case TraceKind::kPostmortem: return "health.postmortem";
   }
   return "?";
 }
@@ -96,6 +103,9 @@ enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelem
     case TraceKind::kRolloutApply:
     case TraceKind::kRolloutWave:
     case TraceKind::kRolloutRevert: return TraceCategory::kCtrl;
+    case TraceKind::kHealthBreach:
+    case TraceKind::kHealthRecovery:
+    case TraceKind::kPostmortem: return TraceCategory::kHealth;
   }
   return TraceCategory::kSim;
 }
@@ -108,6 +118,7 @@ enum class TraceCategory : std::uint8_t { kSim, kMac, kFastAck, kPlanner, kTelem
     case TraceCategory::kPlanner: return "planner";
     case TraceCategory::kTelemetry: return "telemetry";
     case TraceCategory::kCtrl: return "ctrl";
+    case TraceCategory::kHealth: return "health";
   }
   return "?";
 }

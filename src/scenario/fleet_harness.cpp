@@ -270,6 +270,14 @@ FleetScenarioResult run_fleet_scenario(const FleetScenarioConfig& cfg) {
     controller.tick(t);
     last_at = t;
     if (cfg.attach_telemetry) {
+      // Per-poll pipeline health: queue high-waters and drop/defer deltas
+      // land in the metrics registry (eagerly registered — quiet polls
+      // still report zeros).
+      ingest.ingest_pipeline(controller.ingest_stats(),
+                             controller.output_stats(),
+                             controller.stats().jobs_deferred);
+    }
+    if (cfg.attach_telemetry) {
       // O(churn) telemetry fan-out: only campuses the poll touched land
       // rows this interval (the first full census polls everyone). The
       // touched set is derived from the delta in *both* replay modes, so
@@ -301,6 +309,7 @@ FleetScenarioResult run_fleet_scenario(const FleetScenarioConfig& cfg) {
   res.digest = controller.plan_digest();
   res.final_plan = controller.fleet_plan();
   res.stats = controller.stats();
+  res.health = controller.health();
   res.ingest_queue = controller.ingest_stats();
   res.output_queue = controller.output_stats();
   res.plans_committed = fanout.stats().plans_committed;

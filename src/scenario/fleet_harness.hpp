@@ -96,6 +96,7 @@ struct FleetScenarioResult {
   ChannelPlan final_plan;
   double netp_log_sum = 0.0;      // folded in delivery order (deterministic)
   fleet::FleetController::Stats stats;
+  fleet::FleetController::Health health;  // end-of-run pipeline health
   fleet::QueueStats ingest_queue;
   fleet::QueueStats output_queue;
   std::vector<double> plan_seconds;  // per delivered campus plan

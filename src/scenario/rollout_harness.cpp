@@ -6,10 +6,20 @@
 #include "core/turboca/service.hpp"
 #include "ctrl/plan_store.hpp"
 #include "fault/scan_fault.hpp"
+#include "obs/gate.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/collector.hpp"
 #include "telemetry/littletable.hpp"
 #include "workload/topology.hpp"
+
+#if W11_OBS
+#include "obs/audit.hpp"
+#include "obs/health/flight_recorder.hpp"
+#include "obs/health/health.hpp"
+#include "obs/health/health_bridge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#endif
 
 namespace w11::scenario {
 
@@ -78,6 +88,102 @@ RolloutScenarioResult run_rollout_scenario(const RolloutScenarioConfig& cfg) {
   // there is always something safe to revert to.
   store.mark_good(store.commit(net->current_plan(), 0.0, Time{0}));
 
+  // --- fleet health engine + flight recorder (cfg.health) ------------------
+#if W11_OBS
+  std::unique_ptr<obs::HealthEngine> health;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  obs::PlanAudit plan_audit;
+  telemetry::LittleTable health_table = obs::make_fleet_health_table();
+  std::uint64_t reverts_seen = 0;
+  std::uint64_t pins_seen = 0;
+  if (cfg.health) {
+    // A health run owns the process-global tracer/metrics registries:
+    // reset both so bundle bytes depend only on this scenario, bind the
+    // tracer clock to sim time, and mask the two schedule-dependent
+    // categories — the kSim firehose (per-lane ring overflow varies with
+    // the schedule) and kPlanner (its batch events encode how scoring work
+    // was sharded across workers). Planner *decisions* still reach the
+    // postmortem worker-invariantly through the plan_audit section below.
+    obs::tracer().clear();
+    obs::tracer().set_enabled(true);
+    obs::tracer().set_category_mask(
+        obs::kAllCategories &
+        ~obs::category_bit(obs::TraceCategory::kSim) &
+        ~obs::category_bit(obs::TraceCategory::kPlanner));
+    sim.set_tracer(&obs::tracer());
+    obs::metrics().set_enabled(true);
+    obs::metrics().reset_values();
+    svc.engine().set_audit(&plan_audit);
+
+    // SLO sheet (DESIGN.md §17). Series width = the poll cadence, so one
+    // window aggregates exactly one tick's counter deltas. Any revert
+    // inside the fast window pages: one bad poll in 5 is error 0.2 against
+    // a 0.01 budget (burn 20 >= 2) and 1-in-30 over the slow window is
+    // burn 3.3 >= 1 — and five quiet polls release the breach.
+    obs::HealthEngine::Config hc;
+    hc.series.width = cfg.poll;
+    obs::SloSpec reverts;
+    reverts.name = "rollout-reverts";
+    reverts.sli = "ctrl.reverts";
+    reverts.threshold = 0.0;  // bad poll = any revert observed in it
+    reverts.objective = 0.99;
+    reverts.fast_windows = 5;
+    reverts.slow_windows = 30;
+    reverts.fast_burn = 2.0;
+    reverts.slow_burn = 1.0;
+    reverts.severity = obs::Severity::kPage;
+    hc.slos.push_back(reverts);
+    obs::SloSpec drops;
+    drops.name = "telemetry-drops";
+    drops.sli = "telemetry.dropped";
+    drops.threshold = 0.0;  // bad poll = any collector row dropped
+    drops.objective = 0.95;
+    drops.fast_windows = 5;
+    drops.slow_windows = 30;
+    drops.fast_burn = 2.0;
+    drops.slow_burn = 1.0;
+    drops.severity = obs::Severity::kTicket;
+    hc.slos.push_back(drops);
+    obs::SloSpec slow;
+    slow.name = "convergence-slow";
+    slow.sli = "ctrl.convergence_s";
+    // A committed rollout taking more than half the watchdog budget is
+    // living dangerously even though it converged.
+    slow.threshold = 0.5 * cfg.rollout.watchdog.sec();
+    slow.objective = 0.95;
+    slow.fast_windows = 5;
+    slow.slow_windows = 30;
+    slow.fast_burn = 2.0;
+    slow.slow_burn = 1.0;
+    slow.severity = obs::Severity::kTicket;
+    hc.slos.push_back(slow);
+    health = std::make_unique<obs::HealthEngine>(std::move(hc));
+
+    obs::FlightRecorder::Config fc;
+    fc.ring_capacity = cfg.recorder_capacity;
+    fc.window = cfg.health_window;
+    fc.max_bundles = cfg.max_postmortems;
+    recorder = std::make_unique<obs::FlightRecorder>(fc);
+    recorder->attach_tracer(&obs::tracer());
+    // Fixed catalog: snapshot rows have this exact shape at any worker
+    // count, whatever order first-touch registration happened in.
+    recorder->attach_metrics(
+        &obs::metrics(),
+        {"ctrl.applies", "ctrl.commands_sent", "ctrl.reverts", "ctrl.waves",
+         "telemetry.records_dropped", "telemetry.records_written"});
+    recorder->attach_source("rollout_audit",
+                            [&coord](Time from, Time to, std::ostream& os) {
+                              coord.audit().write_jsonl(os, from, to);
+                            });
+    // Planner picks carry no timestamps; the bounded audit (the last
+    // max_picks decisions) dumps whole — that IS the trigger-window cut.
+    recorder->attach_source("plan_audit",
+                            [&plan_audit](Time, Time, std::ostream& os) {
+                              plan_audit.write_jsonl(os);
+                            });
+  }
+#endif
+
   // --- fault wiring --------------------------------------------------------
   fault::FaultHandlers fh;
   fh.radar = [&](int ap) {
@@ -86,6 +192,13 @@ RolloutScenarioResult run_rollout_scenario(const RolloutScenarioConfig& cfg) {
     net->radar_event(ApId{static_cast<std::uint32_t>(ap)});
     if (net->aps()[static_cast<std::size_t>(ap)].channel != before)
       coord.notify_radar(static_cast<std::uint32_t>(ap));
+#if W11_OBS
+    if (recorder != nullptr) {
+      recorder->note(sim.now(), "fault.radar", ap);
+      if (cfg.postmortem_on_fault)
+        recorder->trigger(obs::Trigger::kFaultInjection, sim.now(), "radar");
+    }
+#endif
   };
   fh.link_down = [&](int link) {
     if (link >= 0 && link < cfg.n_aps)
@@ -105,7 +218,13 @@ RolloutScenarioResult run_rollout_scenario(const RolloutScenarioConfig& cfg) {
       chan.set_online(u, true);
     });
   };
-  fh.telemetry_drop = [&](int n) { coll.drop_next(n); };
+  fh.telemetry_drop = [&](int n) {
+    coll.drop_next(n);
+#if W11_OBS
+    if (recorder != nullptr)
+      recorder->note(sim.now(), "fault.telemetry_drop", n);
+#endif
+  };
   fh.scan_degrade = [&](fault::ScanFaultMode m, double keep) {
     deg.set_mode(m, keep);
   };
@@ -129,12 +248,47 @@ RolloutScenarioResult run_rollout_scenario(const RolloutScenarioConfig& cfg) {
                                    coord.stats().reverted;
     if (done_now > done_seen) {
       out.convergence_s.push_back(coord.last_convergence().sec());
+#if W11_OBS
+      if (health != nullptr)
+        health->observe("ctrl.convergence_s", sim.now(),
+                        coord.last_convergence().sec());
+#endif
       done_seen = done_now;
     }
     if (accepting && !coord.active() && pending_version > started_version &&
         pending_version > store.last_known_good_version()) {
       if (coord.start(pending_version)) started_version = pending_version;
     }
+#if W11_OBS
+    if (health != nullptr) {
+      // SLI adoption, flight-ring capture, SLO evaluation, postmortem
+      // triggers — all on this serial tick, so every piece is exact.
+      const Time now = sim.now();
+      const ctrl::RolloutCoordinator::Stats& rs = coord.stats();
+      health->observe_counter("ctrl.reverts", now,
+                              static_cast<double>(rs.reverted));
+      health->observe_counter("telemetry.dropped", now,
+                              static_cast<double>(coll.records_dropped()));
+      recorder->capture(now);
+      const std::vector<obs::HealthEvent> hev = health->poll(now);
+      obs::append_health_events(hev, health_table);
+      for (const obs::HealthEvent& e : hev)
+        if (e.breach && e.severity == obs::Severity::kPage)
+          recorder->trigger(obs::Trigger::kSloBreach, now, e.name);
+      if (rs.reverted > reverts_seen) {
+        const bool wd =
+            coord.revert_reason() == ctrl::RevertReason::kWatchdog;
+        recorder->trigger(
+            wd ? obs::Trigger::kWatchdog : obs::Trigger::kAutoRevert, now,
+            ctrl::to_string(coord.revert_reason()));
+        reverts_seen = rs.reverted;
+      }
+      if (rs.radar_pins > pins_seen) {
+        recorder->trigger(obs::Trigger::kRadarPin, now, "radar-pin");
+        pins_seen = rs.radar_pins;
+      }
+    }
+#endif
   };
   PeriodicTimer poll(sim, cfg.poll, cfg.poll, tick);
 
@@ -179,6 +333,24 @@ RolloutScenarioResult run_rollout_scenario(const RolloutScenarioConfig& cfg) {
   out.telemetry_trimmed = coll.ap_stats().rows_trimmed();
   out.planner_runs = svc.stats().runs;
   out.requested_replans = svc.stats().requested_replans;
+  out.rollout_health = coord.health();
+#if W11_OBS
+  if (health != nullptr) {
+    out.postmortems = recorder->bundles();
+    out.health_events_jsonl = health->events_jsonl();
+    out.health_breaches = health->breaches();
+    out.health_recoveries = health->recoveries();
+    out.health_rows = health_table.row_count();
+    out.recorder_dropped = recorder->entries_dropped();
+    out.postmortems_dropped = recorder->bundles_dropped();
+    // Release the process-global registries (the tracer would otherwise
+    // keep a clock pointer into this function's dead Simulator).
+    sim.set_tracer(nullptr);
+    obs::tracer().set_enabled(false);
+    obs::metrics().set_enabled(false);
+    svc.engine().set_audit(nullptr);
+  }
+#endif
   return out;
 }
 

@@ -54,6 +54,23 @@ struct RolloutScenarioConfig {
   // validation reads); max_rows 0 / max_age 0 = unbounded.
   Time telemetry_max_age = time::hours(1);
   exec::TaskPool* pool = nullptr;  // planner scoring pool; nullptr = global
+
+  // --- fleet health engine + flight recorder (DESIGN.md §17) ---------------
+  // When true (and the build has W11_OBS), the run stands up a HealthEngine
+  // over the rollout SLIs (revert rate, telemetry drops, convergence), an
+  // always-on FlightRecorder fed at every poll, and a planner decision
+  // audit — and every auto-revert / watchdog / radar pin / paging SLO
+  // breach dumps a postmortem bundle into Result::postmortems. Health runs
+  // reset and take over the process-global tracer/metrics registries, so
+  // they must not execute concurrently with other instrumented scenarios.
+  bool health = false;
+  Time health_window = time::minutes(5);  // postmortem lookback
+  std::size_t recorder_capacity = 256;    // flight-ring entries
+  std::size_t max_postmortems = 4;        // retained bundles (oldest evicted)
+  // Also dump a bundle on every injected radar fault (not just ones that
+  // land mid-rollout and pin). Off by default to keep bundle volume at one
+  // per anomaly, not one per chaos event.
+  bool postmortem_on_fault = false;
 };
 
 struct RolloutScenarioResult {
@@ -76,6 +93,17 @@ struct RolloutScenarioResult {
   std::uint64_t telemetry_trimmed = 0;
   int planner_runs = 0;
   int requested_replans = 0;
+
+  // --- health engine output (filled only when cfg.health && W11_OBS) ------
+  // Plain types so the struct shape is identical in W11_OBS=0 builds.
+  std::vector<std::string> postmortems;  // self-contained JSONL bundles
+  std::string health_events_jsonl;       // breach/recovery event log
+  std::uint64_t health_breaches = 0;
+  std::uint64_t health_recoveries = 0;
+  std::uint64_t health_rows = 0;         // fleet_health LittleTable rows
+  std::uint64_t recorder_dropped = 0;    // flight-ring overflow evictions
+  std::uint64_t postmortems_dropped = 0; // bundles evicted by max_postmortems
+  ctrl::RolloutCoordinator::Health rollout_health;
 };
 
 [[nodiscard]] RolloutScenarioResult run_rollout_scenario(

@@ -230,6 +230,24 @@ std::vector<double> Testbed::per_client_throughput_mbps() const {
   return out;
 }
 
+Testbed::Health Testbed::health() const {
+  Health h;
+  h.aps = cfg_.n_aps;
+  h.clients = static_cast<int>(flows_.size());
+  h.aggregate_mbps = 0.0;
+  const auto per = per_client_throughput_mbps();
+  for (std::size_t i = 0; i < per.size(); ++i) {
+    h.aggregate_mbps += per[i];
+    if (i == 0 || per[i] < h.client_min_mbps) h.client_min_mbps = per[i];
+    if (i == 0 || per[i] > h.client_max_mbps) h.client_max_mbps = per[i];
+  }
+#if W11_OBS
+  h.trace_events = obs::tracer().total_events();
+  h.trace_dropped = obs::tracer().total_dropped();
+#endif
+  return h;
+}
+
 std::vector<double> Testbed::mean_ampdu_per_client(int ap_idx) const {
   std::vector<double> out;
   for (std::size_t i = 0; i < flows_.size(); ++i) {

@@ -114,6 +114,19 @@ class Testbed {
   // Mean A-MPDU size per client of one AP (Fig. 15).
   [[nodiscard]] std::vector<double> mean_ampdu_per_client(int ap_idx) const;
 
+  // Condensed run health for bench mains and the fleet health engine
+  // (plain types only; trace fields are zero in W11_OBS=0 builds).
+  struct Health {
+    int aps = 0;
+    int clients = 0;
+    double aggregate_mbps = 0.0;
+    double client_min_mbps = 0.0;
+    double client_max_mbps = 0.0;
+    std::uint64_t trace_events = 0;   // recorded this run (all lanes)
+    std::uint64_t trace_dropped = 0;  // lost to per-lane ring overflow
+  };
+  [[nodiscard]] Health health() const;
+
   [[nodiscard]] const AccessPoint& ap(int idx) const { return *aps_.at(idx); }
   [[nodiscard]] const fastack::FastAckAgent* agent(int idx) const {
     return agents_.at(idx).get();

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fleet/queues.hpp"
 #include "flowsim/scan.hpp"
 #include "obs/gate.hpp"
 #include "telemetry/littletable.hpp"
@@ -23,7 +24,19 @@ class FleetIngest {
       : ap_stats_("fleet_ap_stats",
                   {"campus", "utilization", "load", "neighbors"}),
         plan_stats_("fleet_plans",
-                    {"n_aps", "netp_log", "improved", "plan_seconds"}) {}
+                    {"n_aps", "netp_log", "improved", "plan_seconds"}) {
+#if W11_OBS
+    // Eager handles: the pipeline metrics must exist (at zero) in every
+    // snapshot — rate SLIs over quiet polls are undefined when the name is
+    // absent (DESIGN.md §17) — so registration cannot wait for a first hit.
+    obs::MetricsRegistry& mr = obs::metrics();
+    m_ingest_hw_ = mr.gauge("fleet.ingest.high_water");
+    m_output_hw_ = mr.gauge("fleet.output.high_water");
+    m_epochs_dropped_ = mr.counter("fleet.epochs_dropped");
+    m_output_rejected_ = mr.counter("fleet.output.rejected");
+    m_jobs_deferred_ = mr.counter("fleet.jobs_deferred");
+#endif
+  }
 
   // One campus's slice of a polling interval: one reserve, one bulk
   // append, staged through a scratch batch whose capacity persists across
@@ -53,6 +66,33 @@ class FleetIngest {
     W11_COUNT("telemetry.fleet_plans");
   }
 
+  // One controller poll's pipeline health: bounded-queue high-water marks
+  // land as gauges, the MPMC ingest drop counter (epochs_dropped ==
+  // ingest_q.rejected) and backpressure deferrals as cumulative counters
+  // (inputs are cumulative; deltas are added so the registry counter
+  // tracks the source). Call once per poll from the ticking thread.
+  void ingest_pipeline(const fleet::QueueStats& ingest_q,
+                       const fleet::QueueStats& output_q,
+                       std::uint64_t jobs_deferred) {
+    ++pipeline_polls_;
+#if W11_OBS
+    if (!obs::metrics().enabled()) return;
+    m_ingest_hw_.set(static_cast<double>(ingest_q.high_water));
+    m_output_hw_.set(static_cast<double>(output_q.high_water));
+    m_epochs_dropped_.add(ingest_q.rejected - last_epochs_dropped_);
+    last_epochs_dropped_ = ingest_q.rejected;
+    m_output_rejected_.add(output_q.rejected - last_output_rejected_);
+    last_output_rejected_ = output_q.rejected;
+    m_jobs_deferred_.add(jobs_deferred - last_jobs_deferred_);
+    last_jobs_deferred_ = jobs_deferred;
+#else
+    (void)ingest_q;
+    (void)output_q;
+    (void)jobs_deferred;
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t pipeline_polls() const { return pipeline_polls_; }
   [[nodiscard]] std::uint64_t rows_ingested() const { return rows_ingested_; }
   [[nodiscard]] std::uint64_t plans_ingested() const { return plans_ingested_; }
   [[nodiscard]] const LittleTable& ap_stats() const { return ap_stats_; }
@@ -66,6 +106,17 @@ class FleetIngest {
   std::vector<LittleTable::Row> scratch_;  // reused across ingest_scans calls
   std::uint64_t rows_ingested_ = 0;
   std::uint64_t plans_ingested_ = 0;
+  std::uint64_t pipeline_polls_ = 0;
+#if W11_OBS
+  obs::Gauge m_ingest_hw_;
+  obs::Gauge m_output_hw_;
+  obs::Counter m_epochs_dropped_;
+  obs::Counter m_output_rejected_;
+  obs::Counter m_jobs_deferred_;
+  std::uint64_t last_epochs_dropped_ = 0;
+  std::uint64_t last_output_rejected_ = 0;
+  std::uint64_t last_jobs_deferred_ = 0;
+#endif
 };
 
 }  // namespace w11::telemetry

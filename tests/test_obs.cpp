@@ -261,6 +261,40 @@ TEST(Metrics, CountersSumAcrossLanesAndWorkerCounts) {
   EXPECT_EQ(serial, threaded);
 }
 
+TEST(Metrics, DeclaredButNeverHitMetricsSnapshotAtZero) {
+  // Absent-vs-zero: a metric the SLO sheet reads must be present (at zero)
+  // in every snapshot even when its code path never ran this interval —
+  // otherwise a quiet poll is indistinguishable from a never-registered
+  // name and rate SLIs over it are undefined. declare_* is the eager
+  // registration the lazy W11_COUNT/W11_HISTOGRAM macros can't provide.
+  MetricsRegistry reg;
+  reg.set_enabled(true);
+  reg.declare_counter("quiet.counter");
+  reg.declare_gauge("quiet.gauge");
+  reg.declare_histogram("quiet.hist");
+  const obs::Counter hot = reg.counter("hot.counter");
+  hot.add(3);
+  const auto snap = reg.snapshot();
+  auto value_of = [&](const std::string& name) -> const double* {
+    for (const auto& s : snap)
+      if (s.name == name) return &s.value;
+    return nullptr;
+  };
+  ASSERT_NE(value_of("quiet.counter"), nullptr);
+  EXPECT_EQ(*value_of("quiet.counter"), 0.0);
+  ASSERT_NE(value_of("quiet.gauge"), nullptr);
+  EXPECT_EQ(*value_of("quiet.gauge"), 0.0);
+  ASSERT_NE(value_of("quiet.hist.count"), nullptr);
+  EXPECT_EQ(*value_of("quiet.hist.count"), 0.0);
+  EXPECT_EQ(*value_of("hot.counter"), 3.0);
+  // The JSON dump carries them too (same snapshot underneath).
+  const std::string json = obs::metrics_json_string(reg);
+  EXPECT_NE(json.find("\"quiet.counter\":0"), std::string::npos);
+  // Declaring again is idempotent: same handle slot, no duplicate rows.
+  reg.declare_counter("quiet.counter");
+  EXPECT_EQ(reg.snapshot().size(), snap.size());
+}
+
 TEST(Metrics, GaugeLatestSetWins) {
   MetricsRegistry reg;
   reg.set_enabled(true);

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Bench regression gate (DESIGN.md §17.4).
+
+Diffs freshly produced BENCH_*.json files against the committed baselines
+and fails CI on regression. Two classes of check:
+
+  exact  — determinism witnesses and sim-time-derived results (plan digests,
+           convergence percentiles, row/plan counts, twin/postmortem
+           byte-identity flags). These are machine-independent: any drift is
+           a real behaviour change and fails the gate outright.
+  loose  — wall-clock performance numbers (seconds, rates, RSS). CI machines
+           differ from the baseline machine, so these only catch
+           catastrophes: fresh must stay within `loose_factor` (default 5x)
+           of baseline in both directions.
+
+Fields that are pure environment (hardware_concurrency, cpu_share, speedup,
+build_type) are ignored. Google-benchmark files (BENCH_planner.json,
+BENCH_flowsim.json) are matched per benchmark name on real_time, loose only.
+
+Exit status: 0 = pass, 1 = regression, 2 = usage/IO error.
+
+Overrides:
+  W11_BENCH_GATE_SOFT=1   report findings but exit 0 — for PRs that
+                          intentionally move a baseline; the PR must also
+                          commit the regenerated BENCH_*.json (see
+                          .github/workflows/ci.yml).
+
+Usage:
+  tools/bench_gate.py --baseline-dir . --fresh-dir build/bench \\
+      [--files BENCH_fleet.json,BENCH_rollout.json] [--out verdict.json]
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+# Perf tolerance bands, widenable for cross-machine comparisons (CI runners
+# vs the machine that produced the committed baselines):
+#   W11_BENCH_GATE_LOOSE_FACTOR   custom-artifact perf fields (default 5x)
+#   W11_BENCH_GATE_GBENCH_FACTOR  google-benchmark real_time   (default 3x)
+LOOSE_FACTOR = float(os.environ.get("W11_BENCH_GATE_LOOSE_FACTOR", "5"))
+GBENCH_FACTOR = float(os.environ.get("W11_BENCH_GATE_GBENCH_FACTOR", "3"))
+
+# Environment-dependent fields never compared, in any file.
+IGNORED = {
+    "build_type",
+    "hardware_concurrency",
+    "cpu_share",
+    "speedup_8w_over_1w",
+    "ingest_speedup",
+    "rss_watermark_resettable",
+}
+
+# Substrings marking a numeric leaf as wall-clock-ish (loose), not exact.
+LOOSE_MARKERS = (
+    "wall_s",
+    "cpu_s",
+    "_per_sec",
+    "per_second",
+    "ingest_steady_s",
+    "peak_rss",
+    "plan_latency_ms",
+)
+
+GBENCH_FILES = {"BENCH_planner.json", "BENCH_flowsim.json"}
+
+DEFAULT_FILES = [
+    "BENCH_fleet.json",
+    "BENCH_fleet_delta.json",
+    "BENCH_rollout.json",
+    "BENCH_planner.json",
+    "BENCH_flowsim.json",
+]
+
+
+def is_loose(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return any(m in leaf for m in LOOSE_MARKERS)
+
+
+def within_factor(base, fresh, factor):
+    if base == fresh:
+        return True
+    if base == 0 or fresh == 0:
+        # One side zero, the other not: only a catastrophe if the nonzero
+        # side is a real quantity (guards 1e-12-ish jitter on rates).
+        return abs(base - fresh) < 1e-9
+    if (base < 0) != (fresh < 0):
+        return False
+    ratio = abs(fresh) / abs(base)
+    return 1.0 / factor <= ratio <= factor
+
+
+def walk(base, fresh, path, failures, checks):
+    """Structural diff: exact on everything except loose-marked numerics."""
+    leaf = path.rsplit(".", 1)[-1].split("[", 1)[0]
+    if leaf in IGNORED:
+        return
+    if isinstance(base, dict):
+        if not isinstance(fresh, dict):
+            failures.append((path, "shape", base, fresh))
+            return
+        for k in base:
+            if k not in fresh:
+                failures.append((f"{path}.{k}", "missing-in-fresh", base[k], None))
+                continue
+            walk(base[k], fresh[k], f"{path}.{k}", failures, checks)
+        for k in fresh:
+            if k not in base and k not in IGNORED:
+                # New fields are fine (a PR may add metrics); note only.
+                pass
+        return
+    if isinstance(base, list):
+        if not isinstance(fresh, list) or len(base) != len(fresh):
+            failures.append((path, "list-shape", len(base),
+                             len(fresh) if isinstance(fresh, list) else None))
+            return
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            walk(b, f, f"{path}[{i}]", failures, checks)
+        return
+    checks[0] += 1
+    if isinstance(base, (int, float)) and isinstance(fresh, (int, float)) \
+            and not isinstance(base, bool) and not isinstance(fresh, bool):
+        if is_loose(path):
+            if not within_factor(float(base), float(fresh), LOOSE_FACTOR):
+                failures.append((path, f"loose>{LOOSE_FACTOR}x", base, fresh))
+        else:
+            if isinstance(base, float) or isinstance(fresh, float):
+                ok = (math.isclose(float(base), float(fresh),
+                                   rel_tol=1e-12, abs_tol=1e-12))
+            else:
+                ok = base == fresh
+            if not ok:
+                failures.append((path, "exact", base, fresh))
+        return
+    if base != fresh:
+        failures.append((path, "exact", base, fresh))
+
+
+def diff_gbench(base, fresh, failures, checks):
+    """Google-benchmark: match by name, loose band on real_time."""
+    def rows(doc):
+        out = {}
+        for b in doc.get("benchmarks", []):
+            agg = b.get("aggregate_name")
+            if agg not in (None, "mean", "median"):
+                continue  # stddev/cv are noise, not a signal
+            out[b["name"]] = b
+        return out
+
+    fresh_rows = rows(fresh)
+    for name, b in rows(base).items():
+        f = fresh_rows.get(name)
+        if f is None:
+            failures.append((f"benchmarks.{name}", "missing-in-fresh",
+                             b.get("real_time"), None))
+            continue
+        checks[0] += 1
+        if not within_factor(float(b["real_time"]), float(f["real_time"]),
+                             GBENCH_FACTOR):
+            failures.append((f"benchmarks.{name}.real_time",
+                             f"loose>{GBENCH_FACTOR}x",
+                             b["real_time"], f["real_time"]))
+
+
+def gate_file(name, baseline_dir, fresh_dir):
+    result = {"file": name, "checks": 0, "failures": [], "status": "pass"}
+    base_path = os.path.join(baseline_dir, name)
+    fresh_path = os.path.join(fresh_dir, name)
+    if not os.path.exists(base_path):
+        result["status"] = "no-baseline"  # first run of a new bench: not a gate
+        return result
+    if not os.path.exists(fresh_path):
+        result["status"] = "fail"
+        result["failures"] = [{"path": name, "kind": "fresh-artifact-missing",
+                               "baseline": None, "fresh": None}]
+        return result
+    with open(base_path) as fp:
+        base = json.load(fp)
+    with open(fresh_path) as fp:
+        fresh = json.load(fp)
+    failures, checks = [], [0]
+    if name in GBENCH_FILES:
+        diff_gbench(base, fresh, failures, checks)
+    else:
+        walk(base, fresh, name.removesuffix(".json"), failures, checks)
+    result["checks"] = checks[0]
+    result["failures"] = [
+        {"path": p, "kind": k, "baseline": b, "fresh": f}
+        for p, k, b, f in failures
+    ]
+    if failures:
+        result["status"] = "fail"
+    return result
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", required=True,
+                    help="directory holding the committed BENCH_*.json")
+    ap.add_argument("--fresh-dir", required=True,
+                    help="directory the benches just wrote BENCH_*.json into")
+    ap.add_argument("--files", default=",".join(DEFAULT_FILES),
+                    help="comma-separated artifact names to gate")
+    ap.add_argument("--out", default=None,
+                    help="write the machine-readable verdict JSON here")
+    args = ap.parse_args(argv)
+
+    soft = os.environ.get("W11_BENCH_GATE_SOFT", "0") not in ("", "0")
+    files = [f.strip() for f in args.files.split(",") if f.strip()]
+    results = [gate_file(f, args.baseline_dir, args.fresh_dir) for f in files]
+    failed = [r for r in results if r["status"] == "fail"]
+    verdict = {
+        "verdict": "pass" if not failed else ("soft-fail" if soft else "fail"),
+        "soft": soft,
+        "files": results,
+    }
+    if args.out:
+        with open(args.out, "w") as fp:
+            json.dump(verdict, fp, indent=2)
+            fp.write("\n")
+
+    for r in results:
+        tag = {"pass": "PASS", "fail": "FAIL",
+               "no-baseline": "SKIP (no baseline)"}[r["status"]]
+        print(f"[bench-gate] {r['file']}: {tag} ({r['checks']} checks)")
+        for f in r["failures"]:
+            print(f"  {f['kind']:>14}  {f['path']}: "
+                  f"baseline={f['baseline']} fresh={f['fresh']}")
+    if failed:
+        print(f"[bench-gate] verdict: {verdict['verdict']} "
+              f"({len(failed)} file(s) regressed)")
+        if soft:
+            print("[bench-gate] W11_BENCH_GATE_SOFT=1: reporting only — "
+                  "commit regenerated baselines with this PR")
+            return 0
+        print("[bench-gate] regression: either fix the change or, for an "
+              "intentional baseline move, rerun with W11_BENCH_GATE_SOFT=1 "
+              "and commit the regenerated BENCH_*.json")
+        return 1
+    print("[bench-gate] verdict: pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
